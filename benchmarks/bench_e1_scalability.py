@@ -1,0 +1,69 @@
+"""E1 — throughput scaling with the number of replicas (Section 11.1).
+
+Cheiner's experiment: 1-10 replicas, only non-strict operations, fixed
+request frequency per replica; observed throughput grows almost linearly with
+the number of replicas.  Our algorithm requires at least two replicas, so the
+sweep runs 2-10 and additionally reports the single-server centralized
+baseline as the "1 replica" point.
+"""
+
+import pytest
+
+from repro.baselines.atomic import CentralizedAtomicService
+from repro.datatypes import CounterType
+from repro.sim.cluster import SimulatedCluster, SimulationParams
+from repro.sim.workload import WorkloadSpec, run_workload
+
+from conftest import monotonically_nondecreasing, print_table
+
+SERVICE_TIME = 0.4
+CLIENTS_PER_REPLICA = 2
+OPS_PER_CLIENT = 30
+INTERARRIVAL = 0.8  # per client; offered load scales with the replica count
+
+
+def run_replica_count(num_replicas: int, seed: int = 0) -> float:
+    """Throughput (completed operations per unit time) for one configuration."""
+    params = SimulationParams(
+        df=1.0, dg=1.0, gossip_period=2.0,
+        service_time=SERVICE_TIME, frontend_policy="affinity",
+    )
+    clients = [f"c{i}" for i in range(CLIENTS_PER_REPLICA * num_replicas)]
+    cluster = SimulatedCluster(CounterType(), num_replicas, clients, params=params, seed=seed)
+    spec = WorkloadSpec(operations_per_client=OPS_PER_CLIENT,
+                        mean_interarrival=INTERARRIVAL, strict_fraction=0.0)
+    result = run_workload(cluster, spec, seed=seed + 1)
+    return result.throughput
+
+
+def run_centralized(seed: int = 0) -> float:
+    params = SimulationParams(df=1.0, dg=1.0, gossip_period=2.0, service_time=SERVICE_TIME)
+    clients = [f"c{i}" for i in range(CLIENTS_PER_REPLICA)]
+    service = CentralizedAtomicService(CounterType(), clients, params=params, seed=seed)
+    spec = WorkloadSpec(operations_per_client=OPS_PER_CLIENT,
+                        mean_interarrival=INTERARRIVAL, strict_fraction=0.0)
+    return run_workload(service, spec, seed=seed + 1).throughput
+
+
+def test_e1_throughput_scales_with_replicas(benchmark):
+    counts = [2, 4, 6, 8, 10]
+    throughputs = {n: run_replica_count(n) for n in counts}
+    centralized = run_centralized()
+
+    rows = [("1 (centralized)", f"{centralized:.2f}", "-")]
+    for n in counts:
+        speedup = throughputs[n] / throughputs[counts[0]]
+        rows.append((str(n), f"{throughputs[n]:.2f}", f"{speedup:.2f}x"))
+    print_table(
+        "E1: throughput vs number of replicas (non-strict workload)",
+        ["replicas", "throughput (ops/time)", "vs 2 replicas"],
+        rows,
+    )
+
+    # Paper's shape: throughput increases ~linearly as replicas are added.
+    series = [throughputs[n] for n in counts]
+    assert monotonically_nondecreasing(series, slack=0.05)
+    assert throughputs[10] >= 3.0 * throughputs[2]
+
+    # Wall-clock measurement of one representative configuration.
+    benchmark(run_replica_count, 4, 1)

@@ -1,0 +1,56 @@
+"""E2 — latency versus the fraction of strict operations (Section 11.1).
+
+Cheiner's experiment: the average percentage of strict requests is swept from
+0% to 100%; observed latency increases linearly with the proportion of strict
+requests.  This is the designed consistency/performance trade-off.
+"""
+
+import pytest
+
+from repro.datatypes import CounterType
+from repro.sim.cluster import SimulatedCluster, SimulationParams
+from repro.sim.workload import WorkloadSpec, run_workload
+
+from conftest import monotonically_nondecreasing, print_table
+
+PARAMS = SimulationParams(df=1.0, dg=1.0, gossip_period=2.0)
+
+
+def run_strict_fraction(fraction: float, seed: int = 0) -> float:
+    """Mean response latency for a workload with the given strict fraction."""
+    cluster = SimulatedCluster(
+        CounterType(), num_replicas=5,
+        client_ids=[f"c{i}" for i in range(5)], params=PARAMS, seed=seed,
+    )
+    spec = WorkloadSpec(operations_per_client=25, mean_interarrival=1.0,
+                        strict_fraction=fraction, poisson_arrivals=False)
+    result = run_workload(cluster, spec, seed=seed + 7)
+    return result.mean_latency
+
+
+def test_e2_latency_grows_linearly_with_strict_fraction(benchmark):
+    fractions = [0.0, 0.25, 0.5, 0.75, 1.0]
+    latencies = {f: run_strict_fraction(f) for f in fractions}
+
+    baseline = latencies[0.0]
+    rows = [
+        (f"{int(f * 100)}%", f"{latencies[f]:.2f}", f"{latencies[f] / baseline:.2f}x")
+        for f in fractions
+    ]
+    print_table(
+        "E2: mean latency vs fraction of strict requests (5 replicas)",
+        ["strict requests", "mean latency", "vs 0% strict"],
+        rows,
+    )
+
+    series = [latencies[f] for f in fractions]
+    # Latency increases with the strict fraction...
+    assert monotonically_nondecreasing(series, slack=0.02)
+    assert latencies[1.0] > 1.5 * latencies[0.0]
+    # ...and roughly linearly: the midpoint sits near the average of the
+    # endpoints (within 35% relative error).
+    midpoint = latencies[0.5]
+    linear_prediction = (latencies[0.0] + latencies[1.0]) / 2
+    assert abs(midpoint - linear_prediction) / linear_prediction < 0.35
+
+    benchmark(run_strict_fraction, 0.5, 1)

@@ -1,0 +1,73 @@
+"""E3 — the response-time bound table of Theorem 9.3.
+
+Under the timing assumptions (deterministic worst-case delays ``df``, ``dg``
+and gossip period ``g``), every response must arrive within::
+
+    delta = 2*df                    non-strict, empty prev
+    delta = 2*df + (g + dg)         non-strict, non-empty prev
+    delta = 2*df + 3*(g + dg)       strict
+
+The benchmark runs a mixed workload, prints the bound vs the measured maximum
+and mean per class, and asserts that no response violates its bound.
+"""
+
+import pytest
+
+from repro.analysis.bounds import (
+    TimingAssumptions,
+    check_latency_records_against_bounds,
+    summarize_bounds_vs_measured,
+)
+from repro.datatypes import CounterType
+from repro.sim.cluster import SimulatedCluster, SimulationParams
+from repro.sim.workload import WorkloadSpec, run_workload
+
+from conftest import print_table
+
+PARAMS = SimulationParams(df=1.0, dg=2.0, gossip_period=3.0, frontend_policy="round_robin")
+TIMING = TimingAssumptions(df=PARAMS.df, dg=PARAMS.dg, gossip_period=PARAMS.gossip_period)
+
+
+def run_mixed_workload(seed: int = 0):
+    cluster = SimulatedCluster(
+        CounterType(), num_replicas=4,
+        client_ids=[f"c{i}" for i in range(4)], params=PARAMS, seed=seed,
+    )
+    spec = WorkloadSpec(operations_per_client=25, mean_interarrival=1.0,
+                        strict_fraction=0.3, prev_policy="random_own")
+    result = run_workload(cluster, spec, seed=seed + 3)
+    return result
+
+
+def test_e3_all_responses_within_theorem_9_3_bounds(benchmark):
+    result = run_mixed_workload()
+    summary = summarize_bounds_vs_measured(result.metrics.records, TIMING)
+
+    rows = []
+    for name, label in [
+        ("nonstrict_no_prev", "non-strict, prev = {}"),
+        ("nonstrict_with_prev", "non-strict, prev != {}"),
+        ("strict", "strict"),
+    ]:
+        entry = summary[name]
+        rows.append((
+            label,
+            f"{entry['bound']:.1f}",
+            f"{entry['max']:.1f}" if entry["count"] else "-",
+            f"{entry['mean']:.2f}" if entry["count"] else "-",
+            int(entry["count"]),
+        ))
+    print_table(
+        "E3: Theorem 9.3 bounds vs measured latency (df=1, dg=2, g=3)",
+        ["operation class", "bound delta(x)", "measured max", "measured mean", "count"],
+        rows,
+    )
+
+    violations = check_latency_records_against_bounds(result.metrics.records, TIMING)
+    assert violations == []
+    # All three classes must actually be exercised.
+    assert all(summary[name]["count"] > 0 for name in summary)
+    # The class ordering of the bound table is reflected in the measurements.
+    assert summary["nonstrict_no_prev"]["max"] <= summary["strict"]["bound"]
+
+    benchmark(run_mixed_workload, 1)

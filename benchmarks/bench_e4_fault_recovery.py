@@ -1,0 +1,65 @@
+"""E4 — recovery of the timing bounds after a faulty period (Theorem 9.4).
+
+A replica is partitioned away from gossip for a window ``[2, 20)``.  During
+the window the Theorem 9.3 bounds may be exceeded; measured from the resume
+time (window end + one retransmission + one gossip period) every response is
+again within its bound.
+"""
+
+import pytest
+
+from repro.analysis.bounds import TimingAssumptions, check_latency_records_against_bounds
+from repro.datatypes import CounterType
+from repro.sim.cluster import SimulatedCluster, SimulationParams
+from repro.sim.faults import FaultSchedule, GossipOutage
+from repro.sim.workload import WorkloadSpec, run_workload
+
+from conftest import print_table
+
+PARAMS = SimulationParams(df=1.0, dg=1.0, gossip_period=2.0, retransmit_interval=2.0)
+TIMING = TimingAssumptions(df=PARAMS.df, dg=PARAMS.dg, gossip_period=PARAMS.gossip_period)
+OUTAGE_START, OUTAGE_END = 2.0, 20.0
+
+
+def run_with_outage(seed: int = 0):
+    cluster = SimulatedCluster(
+        CounterType(), num_replicas=3,
+        client_ids=["c0", "c1"], params=PARAMS, seed=seed,
+    )
+    faults = FaultSchedule().add(GossipOutage("r1", start=OUTAGE_START, end=OUTAGE_END))
+    faults.install(cluster)
+    spec = WorkloadSpec(operations_per_client=12, mean_interarrival=1.0,
+                        strict_fraction=0.4, prev_policy="last_own")
+    result = run_workload(cluster, spec, seed=seed + 11, drain_time=400.0)
+    return cluster, result, faults
+
+
+def test_e4_bounds_recover_after_the_outage(benchmark):
+    cluster, result, faults = run_with_outage()
+    assert cluster.outstanding_operations() == 0
+
+    violations_from_request = check_latency_records_against_bounds(
+        result.metrics.records, TIMING
+    )
+    resume = faults.last_fault_time() + PARAMS.retransmit_interval + PARAMS.gossip_period
+    violations_from_resume = check_latency_records_against_bounds(
+        result.metrics.records, TIMING, resume_time=resume
+    )
+
+    print_table(
+        "E4: Theorem 9.4 — gossip outage on r1 during [2, 20)",
+        ["measurement", "value"],
+        [
+            ("operations completed", result.metrics.completed),
+            ("bound violations measured from request time", len(violations_from_request)),
+            (f"bound violations measured from resume t={resume:.0f}", len(violations_from_resume)),
+            ("max latency overall", f"{result.metrics.latency_summary().maximum:.1f}"),
+        ],
+    )
+
+    # The outage makes some strict operations late relative to their request...
+    assert len(violations_from_request) > 0
+    # ...but every response is within delta(x) of the resume time.
+    assert violations_from_resume == []
+
+    benchmark(run_with_outage, 1)

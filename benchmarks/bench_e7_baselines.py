@@ -1,0 +1,87 @@
+"""E7 — ESDS against the consistency-spectrum baselines (Sections 1.1, 1.2).
+
+The same workload is offered to:
+
+* ESDS with a non-strict (causal) workload — the fast path the paper argues for;
+* ESDS with an all-strict workload — the atomic end of its spectrum;
+* a centralized atomic server;
+* primary-copy replication with synchronous write-all propagation;
+* Ladin-style lazy replication (causal updates, gossip convergence).
+
+Expected shape: ESDS non-strict ≈ Ladin lazy replication ≪ primary copy, and
+all-strict ESDS pays the gossip-stabilization cost (slower than primary copy
+but the same order of magnitude); centralized atomic saturates at one
+server's capacity while ESDS throughput scales with replicas (see E1).
+"""
+
+import pytest
+
+from repro.baselines.atomic import CentralizedAtomicService
+from repro.baselines.lazy_ladin import LadinLazyReplicationService
+from repro.baselines.primary_copy import PrimaryCopyService
+from repro.datatypes import CounterType
+from repro.sim.cluster import SimulatedCluster, SimulationParams
+from repro.sim.workload import WorkloadSpec, run_workload
+
+from conftest import print_table
+
+PARAMS = SimulationParams(df=1.0, dg=1.0, gossip_period=2.0, service_time=0.05)
+NUM_REPLICAS = 3
+CLIENTS = [f"c{i}" for i in range(4)]
+SPEC = WorkloadSpec(operations_per_client=25, mean_interarrival=1.0, strict_fraction=0.0)
+STRICT_SPEC = WorkloadSpec(operations_per_client=25, mean_interarrival=1.0, strict_fraction=1.0)
+
+
+def run_system(name: str, seed: int = 0):
+    if name == "esds_nonstrict":
+        system = SimulatedCluster(CounterType(), NUM_REPLICAS, CLIENTS, params=PARAMS, seed=seed)
+        spec = SPEC
+    elif name == "esds_strict":
+        system = SimulatedCluster(CounterType(), NUM_REPLICAS, CLIENTS, params=PARAMS, seed=seed)
+        spec = STRICT_SPEC
+    elif name == "atomic":
+        system = CentralizedAtomicService(CounterType(), CLIENTS, params=PARAMS, seed=seed)
+        spec = SPEC
+    elif name == "primary_copy":
+        system = PrimaryCopyService(CounterType(), NUM_REPLICAS, CLIENTS, params=PARAMS, seed=seed)
+        spec = SPEC
+    elif name == "ladin_lazy":
+        system = LadinLazyReplicationService(CounterType(), NUM_REPLICAS, CLIENTS,
+                                             params=PARAMS, seed=seed)
+        spec = SPEC
+    else:  # pragma: no cover - defensive
+        raise ValueError(name)
+    result = run_workload(system, spec, seed=seed + 17)
+    return result
+
+
+def test_e7_esds_fast_path_beats_strongly_consistent_baselines(benchmark):
+    systems = ["esds_nonstrict", "esds_strict", "atomic", "primary_copy", "ladin_lazy"]
+    results = {name: run_system(name) for name in systems}
+
+    rows = [
+        (
+            name,
+            f"{results[name].mean_latency:.2f}",
+            f"{results[name].latency_summary().p95:.2f}",
+            f"{results[name].throughput:.2f}",
+        )
+        for name in systems
+    ]
+    print_table(
+        "E7: mean latency / p95 / throughput across systems (same offered load)",
+        ["system", "mean latency", "p95 latency", "throughput"],
+        rows,
+    )
+
+    esds_fast = results["esds_nonstrict"].mean_latency
+    # The ESDS fast path matches the centralized round trip and beats
+    # primary-copy's synchronous propagation.
+    assert esds_fast < results["primary_copy"].mean_latency
+    assert esds_fast <= results["atomic"].mean_latency * 1.5
+    # Lazy replication's causal path is in the same league as ESDS non-strict.
+    assert results["ladin_lazy"].mean_latency <= 2.0 * esds_fast
+    # Full consistency costs: all-strict ESDS is the slowest configuration.
+    assert results["esds_strict"].mean_latency > results["primary_copy"].mean_latency
+
+    benchmark(run_system, "esds_nonstrict", 1)

@@ -1,0 +1,39 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one of the paper's quantitative results (see
+DESIGN.md's experiment index and EXPERIMENTS.md for paper-vs-measured).  Each
+module prints the table/series the paper reports and also exposes a
+``pytest-benchmark`` measurement of one representative configuration, so
+
+    pytest benchmarks/ --benchmark-only
+
+produces both the reproduction tables (on stdout) and wall-clock timings.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence
+
+
+def print_table(title: str, headers: Sequence[str], rows: Iterable[Sequence]) -> None:
+    """Print a small fixed-width table to stdout (captured with ``-s``)."""
+    rows = [tuple(str(cell) for cell in row) for row in rows]
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    line = "  ".join(h.ljust(widths[i]) for i, h in enumerate(headers))
+    print(f"\n--- {title} ---")
+    print(line)
+    print("-" * len(line))
+    for row in rows:
+        print("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    print()
+
+
+def monotonically_nondecreasing(values: Sequence[float], slack: float = 0.0) -> bool:
+    """True when the sequence never drops by more than *slack* (relative)."""
+    for earlier, later in zip(values, values[1:]):
+        if later < earlier * (1.0 - slack):
+            return False
+    return True

@@ -1,0 +1,16 @@
+"""Setup shim for environments without PEP 517 build isolation support."""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "Eventually-Serializable Data Services (Fekete, Gupta, Luchangco, Lynch, "
+        "Shvartsman; PODC 1996 / TCS 1999) — specification, lazy-replication "
+        "algorithm, verification harness, simulator and benchmarks"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.9",
+)

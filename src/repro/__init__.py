@@ -1,0 +1,158 @@
+"""repro — Eventually-Serializable Data Services.
+
+A complete reproduction of *Eventually-Serializable Data Services* (Fekete,
+Gupta, Luchangco, Lynch, Shvartsman; PODC 1996, full version TCS 220, 1999):
+
+* the formal **specification** (ESDS-I / ESDS-II and the well-formed client
+  automaton) on top of an executable I/O-automaton framework;
+* the **lazy-replication algorithm** (labels, gossip, stability) plus the
+  memoizing and commutativity-exploiting optimizations of Section 10;
+* a **verification harness** turning the paper's invariants and forward
+  simulations into runtime checks;
+* a **discrete-event simulator** (and baselines: centralized atomic object,
+  primary copy, Ladin-style lazy replication) used to reproduce the paper's
+  performance analysis and Cheiner's experiments;
+* **applications**: a distributed directory/name service and an object
+  repository.
+
+Quickstart
+----------
+
+>>> from repro import SimulatedCluster, SimulationParams, RegisterType
+>>> cluster = SimulatedCluster(RegisterType(), num_replicas=3,
+...                            client_ids=["alice", "bob"],
+...                            params=SimulationParams(df=1, dg=1, gossip_period=2))
+>>> write, _ = cluster.execute("alice", RegisterType.write("hello"))
+>>> _, value = cluster.execute("bob", RegisterType.read(),
+...                            prev=[write.id], strict=True)
+>>> value
+'hello'
+"""
+
+from repro.common import (
+    ConfigurationError,
+    EsdsError,
+    INFINITY,
+    InvariantViolation,
+    OperationId,
+    OperationIdGenerator,
+    SimulationRelationError,
+    SpecificationError,
+    WellFormednessError,
+)
+from repro.core.operations import OperationDescriptor, make_operation
+from repro.core.orders import PartialOrder, outcome, val, valset
+from repro.datatypes import (
+    AppendLogType,
+    BankAccountType,
+    CounterType,
+    DirectoryType,
+    GSetType,
+    Operator,
+    QueueType,
+    RegisterType,
+    SerialDataType,
+)
+from repro.spec import EsdsSpecI, EsdsSpecII, SafeUsers, TraceRecord, Users
+from repro.algorithm import (
+    AlgorithmSystem,
+    CommuteReplicaCore,
+    FrontEndCore,
+    GossipMessage,
+    Label,
+    MemoizedReplicaCore,
+    ReplicaCore,
+)
+from repro.verification import (
+    AlgorithmInvariantChecker,
+    AlgorithmToSpecSimulation,
+    check_esds2_implements_esds1,
+    check_system_trace,
+)
+from repro.sim import (
+    FaultSchedule,
+    GossipOutage,
+    MetricsCollector,
+    ReplicaCrash,
+    SimulatedCluster,
+    SimulationParams,
+    WorkloadSpec,
+    run_workload,
+)
+from repro.baselines import (
+    CentralizedAtomicService,
+    LadinLazyReplicationService,
+    PrimaryCopyService,
+)
+from repro.apps import DirectoryService, ObjectRepository
+from repro.analysis import TimingAssumptions, response_time_bound
+
+__version__ = "1.0.0"
+
+__all__ = [
+    # errors / identifiers
+    "EsdsError",
+    "WellFormednessError",
+    "SpecificationError",
+    "InvariantViolation",
+    "SimulationRelationError",
+    "ConfigurationError",
+    "OperationId",
+    "OperationIdGenerator",
+    "INFINITY",
+    # core
+    "OperationDescriptor",
+    "make_operation",
+    "PartialOrder",
+    "outcome",
+    "val",
+    "valset",
+    # data types
+    "Operator",
+    "SerialDataType",
+    "RegisterType",
+    "CounterType",
+    "GSetType",
+    "DirectoryType",
+    "AppendLogType",
+    "QueueType",
+    "BankAccountType",
+    # specification
+    "Users",
+    "SafeUsers",
+    "EsdsSpecI",
+    "EsdsSpecII",
+    "TraceRecord",
+    # algorithm
+    "Label",
+    "ReplicaCore",
+    "MemoizedReplicaCore",
+    "CommuteReplicaCore",
+    "FrontEndCore",
+    "GossipMessage",
+    "AlgorithmSystem",
+    # verification
+    "AlgorithmInvariantChecker",
+    "AlgorithmToSpecSimulation",
+    "check_esds2_implements_esds1",
+    "check_system_trace",
+    # simulation
+    "SimulatedCluster",
+    "SimulationParams",
+    "WorkloadSpec",
+    "run_workload",
+    "MetricsCollector",
+    "FaultSchedule",
+    "ReplicaCrash",
+    "GossipOutage",
+    # baselines
+    "CentralizedAtomicService",
+    "PrimaryCopyService",
+    "LadinLazyReplicationService",
+    # applications
+    "DirectoryService",
+    "ObjectRepository",
+    # analysis
+    "TimingAssumptions",
+    "response_time_bound",
+]

@@ -1,0 +1,55 @@
+"""The lazy-replication ESDS algorithm (Section 6 of the paper).
+
+The algorithm replicates the data object at every replica, assigns each
+operation a *label* from a per-replica well-ordered set, gossips
+``(rcvd, done, label, stable)`` information among replicas, and uses the
+system-wide minimum label of each operation as its position in the eventual
+total order.  Strict operations are answered only once the replica knows the
+operation is stable (done at every replica).
+
+Modules:
+
+* :mod:`repro.algorithm.labels` — the label space ``L = U_r L_r`` and per
+  replica label generation (Section 6.3);
+* :mod:`repro.algorithm.messages` — request, response and gossip messages
+  (Section 6.1);
+* :mod:`repro.algorithm.channel` — reliable non-FIFO channels plus the lossy
+  / duplicating variants used in the fault-tolerance discussion (Section 9.3);
+* :mod:`repro.algorithm.frontend` — the per-client front end (Section 6.2);
+* :mod:`repro.algorithm.replica` — the replica state machine (Section 6.3);
+* :mod:`repro.algorithm.memoized` — the memoizing replica ESDS-Alg'
+  (Section 10.1);
+* :mod:`repro.algorithm.commute` — the ``Commute`` replica exploiting
+  commutativity (Section 10.3);
+* :mod:`repro.algorithm.system` — the complete system ``ESDS-Alg x Users``
+  with its derived variables (Section 6.4), driven action-by-action;
+* :mod:`repro.algorithm.automata` — an I/O-automaton wrapper exposing the
+  system to the :mod:`repro.automata` scheduler.
+"""
+
+from repro.algorithm.labels import Label, LabelGenerator, label_sort_key
+from repro.algorithm.messages import GossipMessage, RequestMessage, ResponseMessage
+from repro.algorithm.channel import Channel, LossyChannel
+from repro.algorithm.frontend import FrontEndCore
+from repro.algorithm.replica import ReplicaCore
+from repro.algorithm.memoized import MemoizedReplicaCore
+from repro.algorithm.commute import CommuteReplicaCore
+from repro.algorithm.system import AlgorithmSystem
+from repro.algorithm.automata import AlgorithmAutomaton
+
+__all__ = [
+    "Label",
+    "LabelGenerator",
+    "label_sort_key",
+    "GossipMessage",
+    "RequestMessage",
+    "ResponseMessage",
+    "Channel",
+    "LossyChannel",
+    "FrontEndCore",
+    "ReplicaCore",
+    "MemoizedReplicaCore",
+    "CommuteReplicaCore",
+    "AlgorithmSystem",
+    "AlgorithmAutomaton",
+]

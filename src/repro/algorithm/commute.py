@@ -1,0 +1,154 @@
+"""The ``Commute`` replica (Section 10.3, Fig. 11).
+
+When clients promise to explicitly order every pair of non-commuting
+operations (the ``SafeUsers`` discipline), Lemma 10.6 guarantees that the
+*final state* after applying a set of operations is the same for every total
+order consistent with the client-specified constraints.  A replica may then
+maintain a single *current state* ``cs_r`` updated as each operation is done
+(in arrival order), and compute each operation's value once, when it is done,
+instead of replaying history for every response.
+
+For strict operations the value must also agree with the eventual total
+order; Fig. 11 therefore computes strict values at memoization time (when the
+operation's position is fixed) and gates strict responses on
+``x in ⋂_i stable_r[i] ∩ memoized_r``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Sequence, Set
+
+from repro.algorithm.labels import Label, label_sort_key
+from repro.algorithm.messages import GossipMessage
+from repro.algorithm.replica import ReplicaCore
+from repro.common import SpecificationError
+from repro.core.operations import OperationDescriptor, client_specified_constraints
+from repro.core.orders import topological_total_order
+from repro.datatypes.base import SerialDataType
+from typing import Optional
+
+
+class CommuteReplicaCore(ReplicaCore):
+    """Replica variant that exploits commutativity (Fig. 11)."""
+
+    def __init__(self, replica_id: str, replica_ids: Sequence[str], data_type: SerialDataType) -> None:
+        super().__init__(replica_id, replica_ids, data_type)
+        #: ``cs_r`` — state after applying every operation done here, in the
+        #: order they were done here.
+        self.current_state: Any = data_type.initial_state()
+        #: ``val_r`` — the value recorded for each done operation.
+        self.values: Dict[OperationDescriptor, Any] = {}
+        #: ``memoized_r`` / ``ms_r`` — the stable-prefix bookkeeping reused
+        #: from Section 10.1 for strict operations.
+        self.memoized: Set[OperationDescriptor] = set()
+        self.memo_state: Any = data_type.initial_state()
+
+    # ------------------------------------------------------------------- do_it
+
+    def do_it(self, operation: OperationDescriptor, label: Optional[Label] = None) -> Label:
+        """As in Fig. 11: also advance ``cs_r`` and record ``val_r(x)``."""
+        assigned = super().do_it(operation, label)
+        self.current_state, value = self.data_type.apply(self.current_state, operation.op)
+        self.stats.memoized_applications += 1
+        self.values[operation] = value
+        return assigned
+
+    # ------------------------------------------------------------------ gossip
+
+    def receive_gossip(self, message: GossipMessage) -> None:
+        """Merge gossip; newly learned done operations are applied to ``cs_r``
+        in an order consistent with the client-specified constraints among
+        them (Fig. 11's receive loop)."""
+        previously_done = set(self.done_here())
+        super().receive_gossip(message)
+        newly_done = self.done_here() - previously_done
+        if newly_done:
+            csc = client_specified_constraints(newly_done)
+            order = topological_total_order(csc, {x.id for x in newly_done})
+            by_id = {x.id: x for x in newly_done}
+            for op_id in order:
+                operation = by_id[op_id]
+                self.current_state, value = self.data_type.apply(
+                    self.current_state, operation.op
+                )
+                self.stats.memoized_applications += 1
+                self.values[operation] = value
+        self._memoize_available()
+
+    # -------------------------------------------------------------- memoization
+
+    def _solid_operations(self) -> Set[OperationDescriptor]:
+        stable_here = self.stable_here()
+        if not stable_here:
+            return set()
+        max_stable_label = max(
+            (self.label_of(x.id) for x in stable_here), key=label_sort_key
+        )
+        return {
+            x
+            for x in self.done_here()
+            if label_sort_key(self.label_of(x.id)) <= label_sort_key(max_stable_label)
+        }
+
+    def _memoize_available(self) -> List[OperationDescriptor]:
+        """``memoize_r(x)`` of Fig. 11: fold solid operations into ``ms_r`` in
+        label order, re-recording their value from the eventual order."""
+        performed: List[OperationDescriptor] = []
+        progressing = True
+        while progressing:
+            progressing = False
+            solid = self._solid_operations()
+            for x in sorted(
+                solid - self.memoized,
+                key=lambda op: label_sort_key(self.label_of(op.id)),
+            ):
+                earlier = {
+                    y
+                    for y in self.done_here()
+                    if label_sort_key(self.label_of(y.id))
+                    < label_sort_key(self.label_of(x.id))
+                }
+                if not earlier <= self.memoized:
+                    break
+                self.memo_state, value = self.data_type.apply(self.memo_state, x.op)
+                self.stats.memoized_applications += 1
+                self.values[x] = value
+                self.memoized.add(x)
+                performed.append(x)
+                progressing = True
+        return performed
+
+    # ---------------------------------------------------------------- responses
+
+    def response_ready(self, operation: OperationDescriptor) -> bool:
+        """Fig. 11 strengthens the strict gate: the operation must also be
+        memoized (its eventual-order value is then fixed)."""
+        if operation not in self.pending or operation not in self.done_here():
+            return False
+        if operation.strict:
+            if not self.is_stable_everywhere(operation):
+                return False
+            if operation not in self.memoized:
+                # Try to advance memoization before giving up; memoize is an
+                # internal action that is always enabled once solid.
+                self._memoize_available()
+                if operation not in self.memoized:
+                    return False
+        return True
+
+    def compute_value(self, operation: OperationDescriptor) -> Any:
+        """``v = val_r(x)`` — no replay at response time."""
+        if operation not in self.values:
+            raise SpecificationError(
+                f"no recorded value for {operation.id} at replica {self.replica_id}"
+            )
+        return self.values[operation]
+
+    # ----------------------------------------------------------------- snapshot
+
+    def snapshot(self) -> Dict[str, Any]:
+        data = super().snapshot()
+        data["current_state"] = self.current_state
+        data["values"] = dict(self.values)
+        data["memoized"] = set(self.memoized)
+        return data

@@ -1,0 +1,94 @@
+"""Message types exchanged by the algorithm (Section 6.1).
+
+Three message sets are used:
+
+* ``M_req``  — ``("request", x)`` from a front end to a replica;
+* ``M_resp`` — ``("response", x, v)`` from a replica to a front end;
+* ``M_gossip`` — ``("gossip", R, D, L, S)`` between replicas, where ``R`` is
+  the sender's received set, ``D`` its done set, ``L`` its label function and
+  ``S`` its stable set.
+
+Gossip label functions are represented sparsely: identifiers absent from
+``labels`` implicitly map to ``INFINITY`` ("no label seen").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, FrozenSet, Mapping
+
+from repro.algorithm.labels import Label, LabelOrInfinity
+from repro.common import INFINITY, OperationId
+from repro.core.operations import OperationDescriptor
+
+
+@dataclass(frozen=True)
+class RequestMessage:
+    """A ``("request", x)`` message from a front end to a replica."""
+
+    operation: OperationDescriptor
+
+    @property
+    def kind(self) -> str:
+        return "request"
+
+
+@dataclass(frozen=True)
+class ResponseMessage:
+    """A ``("response", x, v)`` message from a replica to a front end."""
+
+    operation: OperationDescriptor
+    value: Any
+
+    @property
+    def kind(self) -> str:
+        return "response"
+
+
+@dataclass
+class GossipMessage:
+    """A ``("gossip", R, D, L, S)`` message between replicas.
+
+    ``sender`` is recorded for routing and for the per-sender bookkeeping the
+    receiving replica performs (``done_r[r']``, ``stable_r[r']``).
+    """
+
+    sender: str
+    received: FrozenSet[OperationDescriptor]
+    done: FrozenSet[OperationDescriptor]
+    labels: Dict[OperationId, Label] = field(default_factory=dict)
+    stable: FrozenSet[OperationDescriptor] = field(default_factory=frozenset)
+
+    @property
+    def kind(self) -> str:
+        return "gossip"
+
+    def label_of(self, op_id: OperationId) -> LabelOrInfinity:
+        """``L_m(id)`` with the sparse-infinity convention."""
+        return self.labels.get(op_id, INFINITY)
+
+    def size_estimate(self) -> int:
+        """A crude size metric (number of operation references carried),
+        used by the message-overhead benchmark (E8)."""
+        return len(self.received) + len(self.done) + len(self.labels) + len(self.stable)
+
+
+def incremental_gossip(previous: GossipMessage, current: GossipMessage) -> GossipMessage:
+    """The Section 10.4 optimization: send only what changed since the last
+    gossip to the same destination (valid over reliable FIFO channels).
+
+    The receiver must union rather than replace, which
+    :meth:`repro.algorithm.replica.ReplicaCore.receive_gossip` already does,
+    so incremental messages are drop-in compatible.
+    """
+    return GossipMessage(
+        sender=current.sender,
+        received=current.received - previous.received,
+        done=current.done - previous.done,
+        labels={
+            op_id: label
+            for op_id, label in current.labels.items()
+            if previous.labels.get(op_id) != label
+        },
+        stable=current.stable - previous.stable,
+    )

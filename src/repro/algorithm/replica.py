@@ -1,0 +1,326 @@
+"""The replica state machine (Section 6.3, Fig. 7).
+
+Each replica keeps:
+
+* ``pending`` — requests that still require a response from this replica;
+* ``rcvd`` — every operation it has received (directly or via gossip);
+* ``done[i]`` — for each replica ``i``, the operations this replica knows are
+  done at ``i`` (``done[r]`` for the replica itself is simply "done here");
+* ``stable[i]`` — for each replica ``i``, the operations this replica knows
+  are stable at ``i``;
+* ``labels`` — the minimum label seen for each operation (sparse; missing
+  means "no label yet", i.e. the paper's ``oo``).
+
+The local constraints ``lc_r`` order identifiers by label; they totally order
+``done[r]`` (Invariant 7.15), so the value returned for an operation is
+computed by replaying ``done[r]`` in label order (the base class recomputes
+from scratch; :class:`repro.algorithm.memoized.MemoizedReplicaCore` memoizes
+the solid prefix as in Section 10.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.algorithm.labels import Label, LabelGenerator, LabelOrInfinity, label_min, label_sort_key
+from repro.algorithm.messages import GossipMessage, RequestMessage, ResponseMessage
+from repro.common import INFINITY, ConfigurationError, OperationId, SpecificationError
+from repro.core.operations import OperationDescriptor
+from repro.datatypes.base import SerialDataType
+
+
+@dataclass
+class ReplicaStats:
+    """Counters used by the benchmarks and the optimization ablation (E6)."""
+
+    do_it_count: int = 0
+    responses_sent: int = 0
+    gossip_sent: int = 0
+    gossip_received: int = 0
+    #: Number of data-type operator applications performed while computing
+    #: response values (the quantity Section 10.1's memoization reduces).
+    value_applications: int = 0
+    #: Number of operator applications performed while memoizing / updating
+    #: the current state (counted separately so the ablation can compare).
+    memoized_applications: int = 0
+
+    def total_applications(self) -> int:
+        return self.value_applications + self.memoized_applications
+
+
+class ReplicaCore:
+    """The replica automaton of Fig. 7, as an explicitly drivable state
+    machine.
+
+    The surrounding harness (the action-level system driver in
+    :mod:`repro.algorithm.system`, the discrete-event simulator in
+    :mod:`repro.sim`, or the asyncio runtime in :mod:`repro.net`) decides
+    *when* each step runs; this class implements the preconditions and
+    effects.
+    """
+
+    def __init__(
+        self,
+        replica_id: str,
+        replica_ids: Sequence[str],
+        data_type: SerialDataType,
+    ) -> None:
+        if replica_id not in replica_ids:
+            raise ConfigurationError(f"{replica_id} missing from replica id list")
+        if len(set(replica_ids)) < 2:
+            raise ConfigurationError("the algorithm assumes at least two replicas")
+        self.replica_id = replica_id
+        self.replica_ids: Tuple[str, ...] = tuple(replica_ids)
+        self.data_type = data_type
+
+        self.pending: Set[OperationDescriptor] = set()
+        self.rcvd: Set[OperationDescriptor] = set()
+        self.done: Dict[str, Set[OperationDescriptor]] = {i: set() for i in self.replica_ids}
+        self.stable: Dict[str, Set[OperationDescriptor]] = {i: set() for i in self.replica_ids}
+        self.labels: Dict[OperationId, Label] = {}
+
+        self._label_generator = LabelGenerator(replica_id)
+        #: Labels this replica generated locally; kept across a crash with
+        #: volatile memory (the "stable storage" of Section 9.3).
+        self._stable_storage: Dict[OperationId, Label] = {}
+        self.stats = ReplicaStats()
+
+    # ------------------------------------------------------------------ labels
+
+    def label_of(self, op_id: OperationId) -> LabelOrInfinity:
+        """``label_r(id)`` with ``INFINITY`` meaning "no label yet"."""
+        return self.labels.get(op_id, INFINITY)
+
+    def local_constraints(self) -> Set[Tuple[OperationId, OperationId]]:
+        """``lc_r`` — the strict partial order induced on identifiers by the
+        label function (only pairs within ``rcvd`` identifiers are material,
+        but we follow the paper and compare all labelled identifiers)."""
+        ids = list(self.labels)
+        constraints: Set[Tuple[OperationId, OperationId]] = set()
+        for a in ids:
+            for b in ids:
+                if a != b and self.labels[a] < self.labels[b]:
+                    constraints.add((a, b))
+        return constraints
+
+    def done_here(self) -> Set[OperationDescriptor]:
+        """``done_r[r]`` — the operations done at this replica."""
+        return self.done[self.replica_id]
+
+    def stable_here(self) -> Set[OperationDescriptor]:
+        """``stable_r[r]`` — the operations stable at this replica."""
+        return self.stable[self.replica_id]
+
+    def done_order(self) -> List[OperationDescriptor]:
+        """The operations done at this replica in label (``lc_r``) order."""
+        return sorted(self.done_here(), key=lambda x: label_sort_key(self.label_of(x.id)))
+
+    # ------------------------------------------------------------- request path
+
+    def receive_request(self, message: RequestMessage) -> None:
+        """``receive_cr(("request", x))``: record the pending request."""
+        operation = message.operation
+        self.pending.add(operation)
+        self.rcvd.add(operation)
+
+    def can_do(self, operation: OperationDescriptor) -> bool:
+        """Precondition of ``do_it_r(x, l)``: received, not yet done here, and
+        every operation in ``prev`` already done here."""
+        if operation not in self.rcvd or operation in self.done_here():
+            return False
+        done_ids = {x.id for x in self.done_here()}
+        return operation.prev <= done_ids
+
+    def doable_operations(self) -> List[OperationDescriptor]:
+        """Operations for which ``do_it`` is currently enabled."""
+        return sorted(
+            (x for x in self.rcvd - self.done_here() if self.can_do(x)),
+            key=lambda x: repr(x.id),
+        )
+
+    def do_it(self, operation: OperationDescriptor, label: Optional[Label] = None) -> Label:
+        """``do_it_r(x, l)``: assign a fresh label and mark the operation done.
+
+        The label must come from ``L_r`` and exceed the label of every
+        operation already done here; when *label* is omitted a suitable one is
+        generated.
+        """
+        if not self.can_do(operation):
+            raise SpecificationError(
+                f"do_it precondition fails for {operation.id} at replica {self.replica_id}"
+            )
+        existing = [self.label_of(x.id) for x in self.done_here()]
+        if label is None:
+            label = self._label_generator.fresh(existing)
+        else:
+            if label.replica != self.replica_id:
+                raise SpecificationError("replicas may only assign labels from their own set")
+            if any(label <= other for other in existing if other is not INFINITY):
+                raise SpecificationError("new label must exceed labels of done operations")
+        self.done_here().add(operation)
+        self.labels[operation.id] = label
+        self._stable_storage[operation.id] = label
+        self.stats.do_it_count += 1
+        return label
+
+    def do_all_ready(self) -> List[OperationDescriptor]:
+        """Apply ``do_it`` until no operation is ready; returns those done.
+
+        Matches the timing assumption that a ready operation is done
+        immediately (Lemma 9.1).
+        """
+        performed: List[OperationDescriptor] = []
+        progressing = True
+        while progressing:
+            progressing = False
+            for operation in self.doable_operations():
+                self.do_it(operation)
+                performed.append(operation)
+                progressing = True
+        return performed
+
+    # ------------------------------------------------------------ response path
+
+    def is_stable_everywhere(self, operation: OperationDescriptor) -> bool:
+        """``x in  ⋂_i stable_r[i]`` — this replica knows the operation is
+        stable at every replica (the gate for strict responses)."""
+        return all(operation in self.stable[i] for i in self.replica_ids)
+
+    def response_ready(self, operation: OperationDescriptor) -> bool:
+        """Precondition of ``send_rc(("response", x, v))``."""
+        if operation not in self.pending or operation not in self.done_here():
+            return False
+        if operation.strict and not self.is_stable_everywhere(operation):
+            return False
+        return True
+
+    def ready_responses(self) -> List[OperationDescriptor]:
+        """Pending operations for which a response may be sent now."""
+        return sorted(
+            (x for x in self.pending if self.response_ready(x)),
+            key=lambda x: repr(x.id),
+        )
+
+    def compute_value(self, operation: OperationDescriptor) -> Any:
+        """``v in valset(x, done_r[r], <_lc_r)`` — by Invariant 7.15 the local
+        constraints totally order ``done_r[r]``, so the value is unique and is
+        obtained by replaying the done operations in label order."""
+        if operation not in self.done_here():
+            raise SpecificationError(
+                f"cannot compute a value for {operation.id}: not done at {self.replica_id}"
+            )
+        state = self.data_type.initial_state()
+        value: Any = None
+        for x in self.done_order():
+            state, reported = self.data_type.apply(state, x.op)
+            self.stats.value_applications += 1
+            if x.id == operation.id:
+                value = reported
+        return value
+
+    def make_response(self, operation: OperationDescriptor) -> ResponseMessage:
+        """``send_rc(("response", x, v))``: compute the value, drop the
+        operation from ``pending`` and return the message to send."""
+        if not self.response_ready(operation):
+            raise SpecificationError(
+                f"response precondition fails for {operation.id} at replica {self.replica_id}"
+            )
+        value = self.compute_value(operation)
+        self.pending.discard(operation)
+        self.stats.responses_sent += 1
+        return ResponseMessage(operation=operation, value=value)
+
+    # -------------------------------------------------------------- gossip path
+
+    def make_gossip(self) -> GossipMessage:
+        """``send_rr'(("gossip", R, D, L, S))`` — the payload is the replica's
+        current received/done/label/stable knowledge."""
+        self.stats.gossip_sent += 1
+        return GossipMessage(
+            sender=self.replica_id,
+            received=frozenset(self.rcvd),
+            done=frozenset(self.done_here()),
+            labels=dict(self.labels),
+            stable=frozenset(self.stable_here()),
+        )
+
+    def receive_gossip(self, message: GossipMessage) -> None:
+        """``receive_r'r(("gossip", R, D, L, S))`` — merge the sender's
+        knowledge into ours (Fig. 7)."""
+        sender = message.sender
+        if sender == self.replica_id:
+            raise SpecificationError("a replica does not gossip with itself")
+        if sender not in self.done:
+            raise SpecificationError(f"gossip from unknown replica {sender!r}")
+
+        self.rcvd |= message.received
+        self.done[sender] |= message.done | message.stable
+        self.done[self.replica_id] |= message.done | message.stable
+        for replica in self.replica_ids:
+            if replica not in (self.replica_id, sender):
+                self.done[replica] |= message.stable
+
+        # label_r <- min(label_r, L)
+        for op_id, label in message.labels.items():
+            merged = label_min(self.label_of(op_id), label)
+            if merged is not INFINITY:
+                self.labels[op_id] = merged
+            self._label_generator.observed(label)
+
+        self.stable[sender] |= message.stable
+        self.stable[self.replica_id] |= message.stable
+        self._promote_stable()
+        self.stats.gossip_received += 1
+
+    def _promote_stable(self) -> None:
+        """``stable_r[r] <- stable_r[r] u ⋂_i done_r[i]`` — operations this
+        replica knows are done everywhere become stable here."""
+        everywhere = set.intersection(*(self.done[i] for i in self.replica_ids))
+        self.stable[self.replica_id] |= everywhere
+
+    # ----------------------------------------------------- crash/recovery (9.3)
+
+    def crash(self, volatile_memory: bool = True) -> None:
+        """Simulate a crash.  With non-volatile memory nothing is lost (a
+        crash is indistinguishable from message delay); with volatile memory
+        everything except the locally generated labels (kept in stable
+        storage) is discarded."""
+        if not volatile_memory:
+            return
+        self.pending = set()
+        self.rcvd = set()
+        self.done = {i: set() for i in self.replica_ids}
+        self.stable = {i: set() for i in self.replica_ids}
+        self.labels = {}
+
+    def recover_from_stable_storage(self) -> None:
+        """Reload the locally generated labels after a crash with volatile
+        memory.  The key property (Section 9.3) is that after recovery the
+        replica's label for each operation is no greater than the label it had
+        before the crash; restoring the locally generated labels guarantees
+        this, and gossip fills in everything else."""
+        for op_id, label in self._stable_storage.items():
+            merged = label_min(self.label_of(op_id), label)
+            if merged is not INFINITY:
+                self.labels[op_id] = merged
+
+    # ----------------------------------------------------------------- snapshot
+
+    def snapshot(self) -> Dict[str, Any]:
+        """A copy of the replica state used by invariant checks and the
+        simulation-relation harness."""
+        return {
+            "replica_id": self.replica_id,
+            "pending": set(self.pending),
+            "rcvd": set(self.rcvd),
+            "done": {i: set(ops) for i, ops in self.done.items()},
+            "stable": {i: set(ops) for i, ops in self.stable.items()},
+            "labels": dict(self.labels),
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Replica({self.replica_id}, done={len(self.done_here())}, "
+            f"stable={len(self.stable_here())}, pending={len(self.pending)})"
+        )

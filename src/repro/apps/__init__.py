@@ -1,0 +1,8 @@
+"""Applications built on the eventually-serializable data service
+(Section 11.2 of the paper): a distributed directory / name service and a
+distributed object (type/implementation) repository."""
+
+from repro.apps.directory import DirectoryService
+from repro.apps.repository import ObjectRepository
+
+__all__ = ["DirectoryService", "ObjectRepository"]

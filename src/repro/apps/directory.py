@@ -1,0 +1,131 @@
+"""Distributed directory / name service on top of ESDS (Section 11.2).
+
+Directory services (Grapevine, DECdns, DCE CDS/GDS, X.500, DNS) are the
+paper's motivating application: lookups dominate, updates may propagate
+lazily, yet a consistent view must eventually be established and occasionally
+an update must take effect "expediently".  This wrapper encodes the paper's
+recommended client conventions on top of any object exposing the simulated
+cluster interface:
+
+* creating a name returns the creation operation's identifier; attribute
+  updates for that name carry it in their ``prev`` sets, so attributes are
+  never applied before the object exists (the exact scenario discussed in
+  Section 11.2);
+* ordinary lookups are non-strict (fast, possibly slightly stale);
+* ``lookup(..., consistent=True)`` and ``bind(..., expedient=True)`` issue
+  strict operations, giving the "special update feature" the paper mentions.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, Optional, Tuple
+
+from repro.common import OperationId
+from repro.datatypes.directory import DirectoryType
+
+
+class DirectoryService:
+    """A name service facade over an ESDS deployment.
+
+    Parameters
+    ----------
+    cluster:
+        Any object with the ``execute(client, operator, prev=..., strict=...)``
+        interface (:class:`~repro.sim.cluster.SimulatedCluster` or a baseline).
+    client:
+        The client identifier this facade submits under.
+    """
+
+    def __init__(self, cluster, client: str) -> None:
+        self.cluster = cluster
+        self.client = client
+        #: Identifier of the operation that created each known name, used to
+        #: order attribute updates after the creation.
+        self._creation_ops: Dict[str, OperationId] = {}
+        #: Identifier of the most recent update touching each name, used for
+        #: read-your-writes lookups.
+        self._last_update: Dict[str, OperationId] = {}
+
+    # -- updates -----------------------------------------------------------------
+
+    def bind(
+        self,
+        name: str,
+        attributes: Optional[Dict[str, Any]] = None,
+        expedient: bool = False,
+    ) -> bool:
+        """Create *name* and set its initial attributes.
+
+        With ``expedient=True`` the creation is a strict operation, so the
+        response reflects the eventual total order (the paper's "special
+        update feature" that applies an update at all replicas expediently).
+        """
+        operation, created = self.cluster.execute(
+            self.client, DirectoryType.create(name), strict=expedient
+        )
+        self._creation_ops[name] = operation.id
+        self._last_update[name] = operation.id
+        for attr, value in (attributes or {}).items():
+            self.set_attribute(name, attr, value)
+        return bool(created)
+
+    def set_attribute(self, name: str, attr: str, value: Any) -> bool:
+        """Set one attribute of *name*, ordered after the name's creation."""
+        prev = self._dependencies_for(name)
+        operation, result = self.cluster.execute(
+            self.client, DirectoryType.set_attr(name, attr, value), prev=prev
+        )
+        self._last_update[name] = operation.id
+        return result is True
+
+    def unbind(self, name: str, expedient: bool = False) -> bool:
+        """Remove *name* from the directory."""
+        prev = self._dependencies_for(name)
+        operation, existed = self.cluster.execute(
+            self.client, DirectoryType.remove(name), prev=prev, strict=expedient
+        )
+        self._last_update[name] = operation.id
+        return bool(existed)
+
+    # -- queries -----------------------------------------------------------------
+
+    def lookup(self, name: str, consistent: bool = False, read_your_writes: bool = True) -> Optional[Dict[str, Any]]:
+        """Look up the attributes of *name*.
+
+        * default: a fast non-strict lookup, ordered after this client's own
+          updates to the name (session consistency);
+        * ``consistent=True``: a strict lookup reflecting the eventual total
+          order of all updates system-wide.
+        """
+        prev = self._dependencies_for(name) if read_your_writes else ()
+        _operation, result = self.cluster.execute(
+            self.client, DirectoryType.lookup(name), prev=prev, strict=consistent
+        )
+        if result is None:
+            return None
+        return dict(result)
+
+    def get_attribute(self, name: str, attr: str, consistent: bool = False) -> Any:
+        """Fetch a single attribute value."""
+        prev = self._dependencies_for(name)
+        _operation, result = self.cluster.execute(
+            self.client, DirectoryType.get_attr(name, attr), prev=prev, strict=consistent
+        )
+        return result
+
+    def list_names(self, consistent: bool = False) -> List[str]:
+        """List every bound name."""
+        _operation, result = self.cluster.execute(
+            self.client, DirectoryType.list_names(), strict=consistent
+        )
+        return list(result)
+
+    # -- helpers -----------------------------------------------------------------
+
+    def _dependencies_for(self, name: str) -> Tuple[OperationId, ...]:
+        deps = []
+        if name in self._creation_ops:
+            deps.append(self._creation_ops[name])
+        if name in self._last_update and self._last_update[name] != self._creation_ops.get(name):
+            deps.append(self._last_update[name])
+        return tuple(deps)

@@ -1,0 +1,109 @@
+"""Distributed object / type repository on top of ESDS (Section 11.2).
+
+The second application the paper sketches: the information repositories of
+coarse-grained distributed object frameworks (CORBA-style) — a distributed
+type system plus a module implementation repository used for dynamic
+dispatch.  Access is query-dominated; registrations propagate lazily; the
+binding used for dispatch can be requested strictly when a caller needs the
+authoritative answer.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.common import OperationId
+from repro.datatypes.directory import DirectoryType
+
+
+class ObjectRepository:
+    """Type and implementation repository facade over an ESDS deployment.
+
+    Types are directory entries named ``type:<name>``; implementations are
+    entries named ``impl:<type>/<module>``.  Interface definitions and
+    dispatch bindings are attributes of those entries.
+    """
+
+    def __init__(self, cluster, client: str) -> None:
+        self.cluster = cluster
+        self.client = client
+        self._entry_ops: Dict[str, OperationId] = {}
+
+    # -- type system ---------------------------------------------------------------
+
+    def register_type(self, type_name: str, interface: Dict[str, str]) -> bool:
+        """Register a type with its interface (method name -> signature)."""
+        key = f"type:{type_name}"
+        operation, created = self.cluster.execute(self.client, DirectoryType.create(key))
+        self._entry_ops[key] = operation.id
+        for method, signature in interface.items():
+            self._set(key, f"method:{method}", signature)
+        return bool(created)
+
+    def add_method(self, type_name: str, method: str, signature: str) -> bool:
+        """Add a method to an existing type's interface."""
+        return self._set(f"type:{type_name}", f"method:{method}", signature)
+
+    def interface_of(self, type_name: str, consistent: bool = False) -> Optional[Dict[str, str]]:
+        """The interface of a type (``None`` if unknown)."""
+        entry = self._lookup(f"type:{type_name}", consistent)
+        if entry is None:
+            return None
+        return {
+            key[len("method:"):]: value
+            for key, value in entry.items()
+            if key.startswith("method:")
+        }
+
+    # -- implementation repository ----------------------------------------------------
+
+    def register_implementation(
+        self, type_name: str, module: str, location: str, version: str = "1"
+    ) -> bool:
+        """Register a module implementing a type, with its dispatch location."""
+        key = f"impl:{type_name}/{module}"
+        operation, created = self.cluster.execute(
+            self.client,
+            DirectoryType.create(key),
+            prev=self._deps(f"type:{type_name}"),
+        )
+        self._entry_ops[key] = operation.id
+        self._set(key, "location", location)
+        self._set(key, "version", version)
+        return bool(created)
+
+    def dispatch(self, type_name: str, module: str, consistent: bool = False) -> Optional[str]:
+        """The location to dispatch invocations of ``type_name`` to, through
+        *module* (``None`` when unknown)."""
+        entry = self._lookup(f"impl:{type_name}/{module}", consistent)
+        if entry is None:
+            return None
+        return entry.get("location")
+
+    def implementations_of(self, type_name: str, consistent: bool = False) -> List[str]:
+        """Modules registered as implementing *type_name*."""
+        _operation, names = self.cluster.execute(
+            self.client, DirectoryType.list_names(), strict=consistent
+        )
+        prefix = f"impl:{type_name}/"
+        return [name[len(prefix):] for name in names if name.startswith(prefix)]
+
+    # -- helpers ------------------------------------------------------------------------
+
+    def _deps(self, key: str) -> Tuple[OperationId, ...]:
+        op_id = self._entry_ops.get(key)
+        return (op_id,) if op_id is not None else ()
+
+    def _set(self, key: str, attr: str, value: Any) -> bool:
+        _operation, result = self.cluster.execute(
+            self.client, DirectoryType.set_attr(key, attr, value), prev=self._deps(key)
+        )
+        return result is True
+
+    def _lookup(self, key: str, consistent: bool) -> Optional[Dict[str, Any]]:
+        _operation, result = self.cluster.execute(
+            self.client, DirectoryType.lookup(key), prev=self._deps(key), strict=consistent
+        )
+        if result is None:
+            return None
+        return dict(result)

@@ -1,0 +1,37 @@
+"""A small (non-live) I/O automaton framework (Section 3 of the paper).
+
+The paper specifies both the eventually-serializable data service and the
+lazy-replication algorithm as I/O automata and relates them with forward
+simulations.  This package provides an executable version of that model:
+
+* :mod:`repro.automata.automaton` — actions, signatures and the automaton
+  base class;
+* :mod:`repro.automata.composition` — compatible composition and hiding;
+* :mod:`repro.automata.executions` — executions, traces and a pseudo-random
+  scheduler used for state-space exploration in the tests;
+* :mod:`repro.automata.simulation` — a step-by-step forward-simulation
+  checker (Theorem 3.2 applied to explored executions).
+
+The framework is deliberately explicit-state and untyped: states are whatever
+Python objects the automaton keeps, and actions carry a ``kind`` plus keyword
+parameters.  This keeps the specification automata close to the paper's
+pseudocode (Figs. 1, 2, 3, 5, 6, 7).
+"""
+
+from repro.automata.automaton import Action, IOAutomaton, Signature
+from repro.automata.composition import Composition, hide
+from repro.automata.executions import Execution, Event, RandomScheduler
+from repro.automata.simulation import ForwardSimulationChecker, StepCorrespondence
+
+__all__ = [
+    "Action",
+    "IOAutomaton",
+    "Signature",
+    "Composition",
+    "hide",
+    "Execution",
+    "Event",
+    "RandomScheduler",
+    "ForwardSimulationChecker",
+    "StepCorrespondence",
+]

@@ -1,0 +1,130 @@
+"""Composition and hiding of I/O automata (Section 3).
+
+The composition of a compatible set of automata identifies actions with the
+same kind: when an action is executed, every component whose signature
+contains that kind takes the step.  An action kind that is an output of some
+component and an input of others becomes an output of the composition; action
+kinds that are inputs of every component that has them remain inputs.
+Internal kinds stay internal.
+
+``hide`` reclassifies a set of output kinds as internal, so that they no
+longer appear in traces (used for the send/receive actions of ESDS-Alg).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Dict, FrozenSet, Iterable, List, Mapping, Sequence
+
+from repro.automata.automaton import Action, IOAutomaton, Signature, check_compatible
+from repro.common import SpecificationError
+
+
+class Composition(IOAutomaton):
+    """The composition of a compatible collection of automata."""
+
+    def __init__(self, components: Sequence[IOAutomaton], name: str = "composition") -> None:
+        components = list(components)
+        if not components:
+            raise ValueError("composition requires at least one component")
+        check_compatible(components)
+        self.name = name
+        self._components: List[IOAutomaton] = components
+        self._hidden: FrozenSet[str] = frozenset()
+        self.signature = self._build_signature()
+
+    # -- signature ------------------------------------------------------------
+
+    def _build_signature(self) -> Signature:
+        all_inputs: set = set()
+        all_outputs: set = set()
+        all_internals: set = set()
+        for component in self._components:
+            all_inputs |= component.signature.inputs
+            all_outputs |= component.signature.outputs
+            all_internals |= component.signature.internals
+        inputs = (all_inputs - all_outputs) - self._hidden
+        outputs = all_outputs - self._hidden
+        internals = all_internals | (self._hidden & all_outputs)
+        return Signature(
+            inputs=frozenset(inputs),
+            outputs=frozenset(outputs),
+            internals=frozenset(internals),
+        )
+
+    @property
+    def components(self) -> List[IOAutomaton]:
+        """The component automata, in composition order."""
+        return list(self._components)
+
+    def component_named(self, name: str) -> IOAutomaton:
+        """Look a component up by its ``name`` attribute."""
+        for component in self._components:
+            if component.name == name:
+                return component
+        raise KeyError(f"no component named {name!r}")
+
+    # -- steps ----------------------------------------------------------------
+
+    def participants(self, kind: str) -> List[IOAutomaton]:
+        """Every component whose signature mentions *kind*."""
+        return [c for c in self._components if kind in c.signature.all_kinds]
+
+    def enabled(self, action: Action) -> bool:
+        """An action of the composition is enabled iff it is enabled in every
+        participating component for which it is locally controlled."""
+        participants = self.participants(action.kind)
+        if not participants:
+            return False
+        for component in participants:
+            kind_class = component.signature.classify(action.kind)
+            if kind_class != "input" and not component.enabled(action):
+                return False
+        return True
+
+    def apply(self, action: Action) -> None:
+        participants = self.participants(action.kind)
+        if not participants:
+            raise SpecificationError(
+                f"{self.name}: no component participates in {action.kind!r}"
+            )
+        for component in participants:
+            component.apply(action)
+
+    def candidate_actions(self, rng: random.Random) -> List[Action]:
+        """Locally controlled candidates from every component.
+
+        A candidate produced by the owner of an output/internal kind is kept
+        only if the composition as a whole enables it (input participants are
+        always enabled, so in practice this re-checks only the owner).
+        """
+        candidates: List[Action] = []
+        for component in self._components:
+            for action in component.candidate_actions(rng):
+                kind_class = component.signature.classify(action.kind)
+                if kind_class == "input":
+                    continue
+                if self.enabled(action):
+                    candidates.append(action)
+        return candidates
+
+    # -- state ----------------------------------------------------------------
+
+    def snapshot(self) -> Mapping[str, Any]:
+        return {component.name: component.snapshot() for component in self._components}
+
+
+def hide(composition: Composition, kinds: Iterable[str]) -> Composition:
+    """Hide the output action kinds *kinds* of *composition* (in place).
+
+    Returns the same composition object with its signature rebuilt, mirroring
+    the paper's hiding operator.  Hiding only affects classification (traces);
+    steps are unchanged.
+    """
+    hidden = frozenset(kinds)
+    unknown = hidden - composition.signature.outputs
+    if unknown:
+        raise ValueError(f"cannot hide non-output action kinds: {sorted(unknown)}")
+    composition._hidden = composition._hidden | hidden
+    composition.signature = composition._build_signature()
+    return composition

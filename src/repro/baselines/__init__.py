@@ -1,0 +1,32 @@
+"""Baseline data services the paper compares against (conceptually).
+
+The paper motivates ESDS against two ends of the consistency spectrum
+(Section 1.1) and builds directly on Ladin et al.'s lazy replication
+(Section 1.2).  The benchmarks therefore need concrete baselines:
+
+* :class:`~repro.baselines.atomic.CentralizedAtomicService` — a single
+  non-replicated server processing operations in arrival order (the
+  "simplest implementation" of Section 1.1);
+* :class:`~repro.baselines.primary_copy.PrimaryCopyService` — an atomic
+  replicated object using primary copy with synchronous (write-all)
+  propagation before answering;
+* :class:`~repro.baselines.lazy_ladin.LadinLazyReplicationService` — a
+  rendering of Ladin, Liskov, Shrira and Ghemawat's lazy replication with
+  multipart (vector) timestamps, supporting causal and forced operations.
+
+All baselines expose the same duck-typed interface as
+:class:`~repro.sim.cluster.SimulatedCluster` (``submit`` / ``execute`` /
+``run`` / ``run_until_idle`` / ``metrics``), so the same workloads drive every
+system in benchmark E7.
+"""
+
+from repro.baselines.atomic import CentralizedAtomicService
+from repro.baselines.primary_copy import PrimaryCopyService
+from repro.baselines.lazy_ladin import LadinLazyReplicationService, MultipartTimestamp
+
+__all__ = [
+    "CentralizedAtomicService",
+    "PrimaryCopyService",
+    "LadinLazyReplicationService",
+    "MultipartTimestamp",
+]

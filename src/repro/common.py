@@ -1,0 +1,122 @@
+"""Shared small utilities for the ESDS reproduction.
+
+This module contains exceptions, identifier helpers and tiny value types that
+are used across the specification, the algorithm and the simulator.  It is
+intentionally dependency-free.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Iterator, Optional
+
+
+class EsdsError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class WellFormednessError(EsdsError):
+    """A client violated the well-formedness assumptions of Section 4.
+
+    Raised when an operation identifier is reused, or when a ``prev`` set
+    refers to an operation that has not been requested yet.
+    """
+
+
+class SpecificationError(EsdsError):
+    """An automaton action was applied while its precondition was false."""
+
+
+class InvariantViolation(EsdsError):
+    """A runtime invariant check (Sections 5, 7, 8 or 10) failed."""
+
+
+class SimulationRelationError(EsdsError):
+    """A forward-simulation step check (Section 8) failed."""
+
+
+class ConfigurationError(EsdsError):
+    """The system was configured inconsistently (e.g. fewer than 2 replicas)."""
+
+
+@dataclass(frozen=True, order=True)
+class OperationId:
+    """Globally unique operation identifier.
+
+    The paper assumes clients encode their identity into the operation
+    identifier via a static function ``client : I -> C`` (Section 6.2).  We
+    make this explicit: an identifier is a ``(client, seqno)`` pair, and
+    ``client`` is recoverable directly from the identifier.
+    """
+
+    client: str
+    seqno: int
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.client}#{self.seqno}"
+
+
+class OperationIdGenerator:
+    """Per-client generator of fresh :class:`OperationId` values."""
+
+    def __init__(self, client: str, start: int = 0) -> None:
+        self.client = client
+        self._counter = itertools.count(start)
+
+    def fresh(self) -> OperationId:
+        """Return a new, never previously returned identifier."""
+        return OperationId(self.client, next(self._counter))
+
+    def __iter__(self) -> Iterator[OperationId]:
+        while True:
+            yield self.fresh()
+
+
+def client_of(op_id: OperationId) -> str:
+    """The static ``client`` function of Section 6.2."""
+    return op_id.client
+
+
+def freeze_ids(ids) -> frozenset:
+    """Return *ids* as a frozenset, accepting any iterable of identifiers."""
+    return frozenset(ids)
+
+
+class Infinity:
+    """A single object greater than every label (the paper's ``oo``).
+
+    Replica label functions map operation identifiers that have not yet been
+    assigned a label to ``INFINITY`` (Section 6.3).
+    """
+
+    _instance: Optional["Infinity"] = None
+
+    def __new__(cls) -> "Infinity":
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __repr__(self) -> str:
+        return "oo"
+
+    def __lt__(self, other) -> bool:
+        return False
+
+    def __le__(self, other) -> bool:
+        return other is self
+
+    def __gt__(self, other) -> bool:
+        return other is not self
+
+    def __ge__(self, other) -> bool:
+        return True
+
+    def __eq__(self, other) -> bool:
+        return other is self
+
+    def __hash__(self) -> int:
+        return hash("Infinity")
+
+
+INFINITY = Infinity()

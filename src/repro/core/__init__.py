@@ -1,0 +1,46 @@
+"""Core definitions of the ESDS paper (Section 2).
+
+* :mod:`repro.core.operations` — operation descriptors, client-specified
+  constraints (CSC), identifier utilities;
+* :mod:`repro.core.orders` — binary relations, partial/total orders,
+  ``outcome``, ``val`` and ``valset`` (the semantics of applying a set of
+  operations under an order constraint).
+
+These are the shared vocabulary of the specification (:mod:`repro.spec`),
+the algorithm (:mod:`repro.algorithm`) and the verification harness
+(:mod:`repro.verification`).
+"""
+
+from repro.core.operations import (
+    OperationDescriptor,
+    client_specified_constraints,
+    ids_of,
+    make_operation,
+)
+from repro.core.orders import (
+    PartialOrder,
+    induced_order,
+    is_consistent,
+    linear_extensions,
+    outcome,
+    topological_total_order,
+    transitive_closure,
+    val,
+    valset,
+)
+
+__all__ = [
+    "OperationDescriptor",
+    "client_specified_constraints",
+    "ids_of",
+    "make_operation",
+    "PartialOrder",
+    "induced_order",
+    "is_consistent",
+    "linear_extensions",
+    "outcome",
+    "topological_total_order",
+    "transitive_closure",
+    "val",
+    "valset",
+]

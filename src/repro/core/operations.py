@@ -1,0 +1,104 @@
+"""Operation descriptors and client-specified constraints (Section 2.3).
+
+A client accesses the data service by issuing an *operation descriptor*
+consisting of a data-type operator ``op``, a unique operation identifier
+``id``, a set ``prev`` of identifiers of operations that must be ordered
+before it, and a boolean ``strict`` flag.
+
+The *client-specified constraints* of a set of operations ``X`` is the
+relation ``CSC(X) = {(y.id, x.id) : x in X, y.id in x.prev}`` on identifiers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import FrozenSet, Iterable, Optional, Set, Tuple
+
+from repro.common import OperationId
+from repro.datatypes.base import Operator
+
+
+@dataclass(frozen=True)
+class OperationDescriptor:
+    """An operation descriptor ``x = (op, id, prev, strict)``.
+
+    Instances are immutable and hashable so they can be stored in sets, used
+    as dictionary keys, and copied into simulated messages without aliasing
+    concerns.
+    """
+
+    op: Operator
+    id: OperationId
+    prev: FrozenSet[OperationId] = field(default_factory=frozenset)
+    strict: bool = False
+
+    def __post_init__(self) -> None:
+        # Normalise prev to a frozenset even if a plain iterable was passed.
+        if not isinstance(self.prev, frozenset):
+            object.__setattr__(self, "prev", frozenset(self.prev))
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        flag = "!" if self.strict else ""
+        return f"{flag}{self.op}@{self.id}"
+
+    @property
+    def client(self) -> str:
+        """The client that issued this operation (encoded in the identifier)."""
+        return self.id.client
+
+    def with_strict(self, strict: bool) -> "OperationDescriptor":
+        """Return a copy of this descriptor with the ``strict`` flag replaced."""
+        return OperationDescriptor(self.op, self.id, self.prev, strict)
+
+    def with_prev(self, prev: Iterable[OperationId]) -> "OperationDescriptor":
+        """Return a copy of this descriptor with the ``prev`` set replaced."""
+        return OperationDescriptor(self.op, self.id, frozenset(prev), self.strict)
+
+
+def make_operation(
+    op: Operator,
+    op_id: OperationId,
+    prev: Optional[Iterable[OperationId]] = None,
+    strict: bool = False,
+) -> OperationDescriptor:
+    """Convenience constructor for :class:`OperationDescriptor`."""
+    return OperationDescriptor(
+        op=op,
+        id=op_id,
+        prev=frozenset(prev) if prev is not None else frozenset(),
+        strict=bool(strict),
+    )
+
+
+def ids_of(operations: Iterable[OperationDescriptor]) -> Set[OperationId]:
+    """``X.id`` — the set of identifiers of the operations in *operations*."""
+    return {x.id for x in operations}
+
+
+def client_specified_constraints(
+    operations: Iterable[OperationDescriptor],
+) -> Set[Tuple[OperationId, OperationId]]:
+    """``CSC(X)`` — the client-specified constraint relation on identifiers.
+
+    ``(y.id, x.id)`` is in the result exactly when some operation ``x`` in
+    *operations* lists ``y.id`` in its ``prev`` set (Section 2.3).  Note that
+    ``y`` itself need not be in *operations*; the relation is on identifiers.
+    """
+    constraints: Set[Tuple[OperationId, OperationId]] = set()
+    for x in operations:
+        for prev_id in x.prev:
+            constraints.add((prev_id, x.id))
+    return constraints
+
+
+def operations_by_id(
+    operations: Iterable[OperationDescriptor],
+) -> dict:
+    """Index *operations* by identifier, checking uniqueness (Invariant 4.1)."""
+    index = {}
+    for x in operations:
+        existing = index.get(x.id)
+        if existing is not None and existing != x:
+            raise ValueError(f"two distinct operations share identifier {x.id}")
+        index[x.id] = x
+    return index

@@ -1,0 +1,77 @@
+"""Append-only log serial data type.
+
+The append-only log makes reorderings directly observable (the log contents
+depend on the order of appends), which makes it a good stress type for the
+eventual-serializability trace checker and the property-based tests.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Tuple
+
+from repro.datatypes.base import Operator, SerialDataType
+
+
+class AppendLogType(SerialDataType):
+    """An append-only sequence of entries.
+
+    Operators:
+
+    * ``append(x)`` — append ``x``; reports the index at which it landed;
+    * ``read`` — report the whole log (a tuple);
+    * ``length`` — report the number of entries;
+    * ``last`` — report the final entry (or ``None`` if empty).
+    """
+
+    name = "appendlog"
+
+    @staticmethod
+    def append(entry: Any) -> Operator:
+        return Operator("append", (entry,))
+
+    @staticmethod
+    def read() -> Operator:
+        return Operator("read")
+
+    @staticmethod
+    def length() -> Operator:
+        return Operator("length")
+
+    @staticmethod
+    def last() -> Operator:
+        return Operator("last")
+
+    def initial_state(self) -> Tuple[Any, ...]:
+        return ()
+
+    def apply(self, state: Tuple[Any, ...], operator: Operator) -> Tuple[Tuple[Any, ...], Any]:
+        if operator.name == "append":
+            (entry,) = operator.args
+            return state + (entry,), len(state)
+        if operator.name == "read":
+            return state, state
+        if operator.name == "length":
+            return state, len(state)
+        if operator.name == "last":
+            return state, (state[-1] if state else None)
+        raise ValueError(f"unknown appendlog operator: {operator.name}")
+
+    def is_read_only(self, op: Operator) -> bool:
+        return op.name in ("read", "length", "last")
+
+    def commute(self, a: Operator, b: Operator) -> bool:
+        # Appends never commute (the log order differs).
+        return self.is_read_only(a) or self.is_read_only(b)
+
+    def oblivious(self, a: Operator, b: Operator) -> bool:
+        return self.is_read_only(b)
+
+    def check_operator(self, operator: Operator) -> None:
+        if operator.name == "append":
+            if len(operator.args) != 1:
+                raise ValueError("append takes exactly one argument")
+        elif operator.name in ("read", "length", "last"):
+            if operator.args:
+                raise ValueError(f"{operator.name} takes no arguments")
+        else:
+            raise ValueError(f"unknown appendlog operator: {operator.name}")

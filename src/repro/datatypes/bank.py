@@ -1,0 +1,90 @@
+"""Bank account serial data type.
+
+Deposits commute with each other (they are additive), withdrawals may fail
+when the balance is insufficient and therefore do not commute with deposits
+or each other.  This gives a workload with a natural mix of causal (deposit)
+and strict (withdraw, audit) operations, used by the quickstart example and
+the strict-ratio benchmark.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro.datatypes.base import Operator, SerialDataType
+
+
+class BankAccountType(SerialDataType):
+    """A single bank account with a non-negative integer balance.
+
+    Operators:
+
+    * ``deposit(k)`` — add ``k`` (``k >= 0``); reports the new balance;
+    * ``withdraw(k)`` — subtract ``k`` if the balance allows it; reports the
+      new balance on success or ``None`` when rejected;
+    * ``balance`` — report the current balance.
+    """
+
+    name = "bank"
+
+    def __init__(self, initial: int = 0) -> None:
+        if initial < 0:
+            raise ValueError("initial balance must be non-negative")
+        self._initial = int(initial)
+
+    @staticmethod
+    def deposit(amount: int) -> Operator:
+        return Operator("deposit", (int(amount),))
+
+    @staticmethod
+    def withdraw(amount: int) -> Operator:
+        return Operator("withdraw", (int(amount),))
+
+    @staticmethod
+    def balance() -> Operator:
+        return Operator("balance")
+
+    def initial_state(self) -> int:
+        return self._initial
+
+    def apply(self, state: int, operator: Operator) -> Tuple[int, object]:
+        if operator.name == "deposit":
+            (amount,) = operator.args
+            new = state + amount
+            return new, new
+        if operator.name == "withdraw":
+            (amount,) = operator.args
+            if amount > state:
+                return state, None
+            new = state - amount
+            return new, new
+        if operator.name == "balance":
+            return state, state
+        raise ValueError(f"unknown bank operator: {operator.name}")
+
+    def is_read_only(self, op: Operator) -> bool:
+        return op.name == "balance"
+
+    def commute(self, a: Operator, b: Operator) -> bool:
+        if self.is_read_only(a) or self.is_read_only(b):
+            return True
+        if a.name == "deposit" and b.name == "deposit":
+            return True
+        # Withdrawals may fail depending on order, so they do not commute in
+        # general with deposits or other withdrawals.
+        return False
+
+    def oblivious(self, a: Operator, b: Operator) -> bool:
+        return self.is_read_only(b)
+
+    def check_operator(self, operator: Operator) -> None:
+        if operator.name in ("deposit", "withdraw"):
+            if len(operator.args) != 1 or not isinstance(operator.args[0], int):
+                raise ValueError(f"{operator.name} takes one integer argument")
+            if operator.args[0] < 0:
+                raise ValueError(f"{operator.name} amount must be non-negative")
+        elif operator.name == "balance":
+            if operator.args:
+                raise ValueError("balance takes no arguments")
+        else:
+            raise ValueError(f"unknown bank operator: {operator.name}")

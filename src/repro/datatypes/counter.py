@@ -1,0 +1,99 @@
+"""Counter serial data type, including the paper's increment/double example.
+
+Section 10.3 motivates the commutativity requirements with a counter whose
+``increment`` and ``double`` operators do not commute: starting from 1, doing
+increment-then-double yields 4 while double-then-increment yields 3.  This
+type provides exactly those operators (plus ``add`` and ``read``), with the
+precise commutativity metadata, so the example is directly runnable.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro.datatypes.base import Operator, SerialDataType
+
+
+class CounterType(SerialDataType):
+    """An integer counter.
+
+    Operators:
+
+    * ``read`` — report the current value;
+    * ``increment`` — add one, report the new value;
+    * ``add(k)`` — add ``k``, report the new value;
+    * ``double`` — multiply by two, report the new value.
+    """
+
+    name = "counter"
+
+    def __init__(self, initial: int = 0) -> None:
+        self._initial = int(initial)
+
+    @staticmethod
+    def read() -> Operator:
+        return Operator("read")
+
+    @staticmethod
+    def increment() -> Operator:
+        return Operator("increment")
+
+    @staticmethod
+    def add(amount: int) -> Operator:
+        return Operator("add", (int(amount),))
+
+    @staticmethod
+    def double() -> Operator:
+        return Operator("double")
+
+    def initial_state(self) -> int:
+        return self._initial
+
+    def apply(self, state: int, operator: Operator) -> Tuple[int, int]:
+        if operator.name == "read":
+            return state, state
+        if operator.name == "increment":
+            new = state + 1
+            return new, new
+        if operator.name == "add":
+            (amount,) = operator.args
+            new = state + amount
+            return new, new
+        if operator.name == "double":
+            new = state * 2
+            return new, new
+        raise ValueError(f"unknown counter operator: {operator.name}")
+
+    def is_read_only(self, op: Operator) -> bool:
+        return op.name == "read"
+
+    def commute(self, a: Operator, b: Operator) -> bool:
+        if self.is_read_only(a) or self.is_read_only(b):
+            return True
+        additive = {"increment", "add"}
+        if a.name in additive and b.name in additive:
+            return True
+        if a.name == "double" and b.name == "double":
+            return True
+        # add(0) commutes with double; otherwise increment/add vs double do not.
+        if {a.name, b.name} == {"add", "double"}:
+            adder = a if a.name == "add" else b
+            return adder.args[0] == 0
+        if {a.name, b.name} == {"increment", "double"}:
+            return False
+        return False
+
+    def oblivious(self, a: Operator, b: Operator) -> bool:
+        # Every counter operator reports the post-state, so a is oblivious to
+        # b only when b does not change the state.
+        return self.is_read_only(b)
+
+    def check_operator(self, operator: Operator) -> None:
+        if operator.name in ("read", "increment", "double"):
+            if operator.args:
+                raise ValueError(f"{operator.name} takes no arguments")
+        elif operator.name == "add":
+            if len(operator.args) != 1 or not isinstance(operator.args[0], int):
+                raise ValueError("add takes exactly one integer argument")
+        else:
+            raise ValueError(f"unknown counter operator: {operator.name}")

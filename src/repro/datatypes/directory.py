@@ -1,0 +1,156 @@
+"""Directory / name-service serial data type (Section 11.2).
+
+The paper motivates eventually-serializable services with distributed
+directory services (Grapevine, DECdns, DCE CDS/GDS, X.500, DNS): name objects
+with typed attribute sets, where lookups dominate and updates may propagate
+lazily.  This data type models exactly that object: a map from names to
+attribute dictionaries, with create/delete/set-attribute updates and
+lookup/list queries.
+
+The directory application in :mod:`repro.apps.directory` layers the
+client-side conventions (e.g. putting the name-creation operation identifier
+in the ``prev`` set of attribute updates) on top of this type.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Tuple
+
+from repro.datatypes.base import Operator, SerialDataType
+
+# States are immutable nested mappings: name -> (attr -> value), encoded as a
+# frozenset of (name, frozenset of (attr, value)) pairs would be awkward to
+# read, so we use a tuple-of-pairs canonical encoding with helper codecs.
+
+
+def _freeze(mapping: Dict[str, Dict[str, Any]]) -> Tuple:
+    return tuple(
+        sorted(
+            (name, tuple(sorted(attrs.items())))
+            for name, attrs in mapping.items()
+        )
+    )
+
+
+def _thaw(state: Tuple) -> Dict[str, Dict[str, Any]]:
+    return {name: dict(attrs) for name, attrs in state}
+
+
+class DirectoryType(SerialDataType):
+    """A hierarchical-flat directory of named objects with attributes.
+
+    Operators:
+
+    * ``create(name)`` — create a name with no attributes; reports ``True``
+      if created, ``False`` if it already existed;
+    * ``remove(name)`` — delete a name; reports whether it existed;
+    * ``set_attr(name, attr, value)`` — set an attribute; reports ``True`` on
+      success and ``None`` if the name does not exist;
+    * ``lookup(name)`` — report the attribute dict of ``name`` (or ``None``);
+    * ``get_attr(name, attr)`` — report one attribute value (or ``None``);
+    * ``list_names`` — report the sorted tuple of existing names.
+    """
+
+    name = "directory"
+
+    @staticmethod
+    def create(name: str) -> Operator:
+        return Operator("create", (name,))
+
+    @staticmethod
+    def remove(name: str) -> Operator:
+        return Operator("remove", (name,))
+
+    @staticmethod
+    def set_attr(name: str, attr: str, value: Any) -> Operator:
+        return Operator("set_attr", (name, attr, value))
+
+    @staticmethod
+    def lookup(name: str) -> Operator:
+        return Operator("lookup", (name,))
+
+    @staticmethod
+    def get_attr(name: str, attr: str) -> Operator:
+        return Operator("get_attr", (name, attr))
+
+    @staticmethod
+    def list_names() -> Operator:
+        return Operator("list_names")
+
+    def initial_state(self) -> Tuple:
+        return _freeze({})
+
+    def apply(self, state: Tuple, operator: Operator) -> Tuple[Tuple, Any]:
+        mapping = _thaw(state)
+        if operator.name == "create":
+            (name,) = operator.args
+            if name in mapping:
+                return state, False
+            mapping[name] = {}
+            return _freeze(mapping), True
+        if operator.name == "remove":
+            (name,) = operator.args
+            existed = name in mapping
+            mapping.pop(name, None)
+            return _freeze(mapping), existed
+        if operator.name == "set_attr":
+            name, attr, value = operator.args
+            if name not in mapping:
+                return state, None
+            mapping[name][attr] = value
+            return _freeze(mapping), True
+        if operator.name == "lookup":
+            (name,) = operator.args
+            attrs = mapping.get(name)
+            if attrs is None:
+                return state, None
+            # Report a hashable snapshot of the attributes (sorted pairs).
+            return state, tuple(sorted(attrs.items()))
+        if operator.name == "get_attr":
+            name, attr = operator.args
+            attrs = mapping.get(name)
+            return state, (attrs.get(attr) if attrs is not None else None)
+        if operator.name == "list_names":
+            return state, tuple(sorted(mapping))
+        raise ValueError(f"unknown directory operator: {operator.name}")
+
+    def is_read_only(self, op: Operator) -> bool:
+        return op.name in ("lookup", "get_attr", "list_names")
+
+    def commute(self, a: Operator, b: Operator) -> bool:
+        if self.is_read_only(a) or self.is_read_only(b):
+            return True
+        # Updates on different names always commute.
+        if a.args and b.args and a.args[0] != b.args[0]:
+            return True
+        # Same name: create/create and remove/remove are idempotent;
+        # set_attr on different attributes commutes.
+        if a.name == b.name == "create" or a.name == b.name == "remove":
+            return True
+        if a.name == b.name == "set_attr":
+            return a.args[1] != b.args[1] or a.args[2] == b.args[2]
+        return False
+
+    def oblivious(self, a: Operator, b: Operator) -> bool:
+        if self.is_read_only(b):
+            return True
+        # Operations on different names do not affect each other's values.
+        if a.args and b.args and a.args[0] != b.args[0]:
+            return True
+        return False
+
+    def check_operator(self, operator: Operator) -> None:
+        arity = {
+            "create": 1,
+            "remove": 1,
+            "set_attr": 3,
+            "lookup": 1,
+            "get_attr": 2,
+            "list_names": 0,
+        }
+        if operator.name not in arity:
+            raise ValueError(f"unknown directory operator: {operator.name}")
+        if len(operator.args) != arity[operator.name]:
+            raise ValueError(
+                f"{operator.name} takes {arity[operator.name]} argument(s)"
+            )

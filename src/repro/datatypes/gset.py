@@ -1,0 +1,94 @@
+"""Grow-only set serial data type.
+
+All ``insert`` operators commute with each other, and membership queries are
+read-only, which makes the grow-only set the canonical "mostly causal"
+workload for an eventually-serializable service: with per-element ``prev``
+dependencies it needs no strict operations at all.
+"""
+
+from __future__ import annotations
+
+from typing import Any, FrozenSet, Tuple
+
+from repro.datatypes.base import Operator, SerialDataType
+
+
+class GSetType(SerialDataType):
+    """A grow-only set of hashable elements.
+
+    Operators:
+
+    * ``insert(x)`` — add ``x``; reports ``True`` if ``x`` was new;
+    * ``contains(x)`` — report whether ``x`` is in the set;
+    * ``size`` — report the number of elements;
+    * ``snapshot`` — report the whole set (as a frozenset).
+    """
+
+    name = "gset"
+
+    @staticmethod
+    def insert(element: Any) -> Operator:
+        return Operator("insert", (element,))
+
+    @staticmethod
+    def contains(element: Any) -> Operator:
+        return Operator("contains", (element,))
+
+    @staticmethod
+    def size() -> Operator:
+        return Operator("size")
+
+    @staticmethod
+    def snapshot() -> Operator:
+        return Operator("snapshot")
+
+    def initial_state(self) -> FrozenSet[Any]:
+        return frozenset()
+
+    def apply(self, state: FrozenSet[Any], operator: Operator) -> Tuple[FrozenSet[Any], Any]:
+        if operator.name == "insert":
+            (element,) = operator.args
+            if element in state:
+                return state, False
+            return state | {element}, True
+        if operator.name == "contains":
+            (element,) = operator.args
+            return state, element in state
+        if operator.name == "size":
+            return state, len(state)
+        if operator.name == "snapshot":
+            return state, state
+        raise ValueError(f"unknown gset operator: {operator.name}")
+
+    def is_read_only(self, op: Operator) -> bool:
+        return op.name in ("contains", "size", "snapshot")
+
+    def commute(self, a: Operator, b: Operator) -> bool:
+        # inserts always commute; queries always commute with everything for
+        # the *state*, though they are not oblivious to inserts.
+        if self.is_read_only(a) or self.is_read_only(b):
+            return True
+        return True
+
+    def oblivious(self, a: Operator, b: Operator) -> bool:
+        if self.is_read_only(b):
+            return True
+        # insert(x) reports whether x was new, so it is oblivious to inserts
+        # of *other* elements only.
+        if a.name == "insert" and b.name == "insert":
+            return a.args != b.args
+        # queries are not oblivious to inserts (except contains of a different
+        # element).
+        if a.name == "contains" and b.name == "insert":
+            return a.args != b.args
+        return False
+
+    def check_operator(self, operator: Operator) -> None:
+        if operator.name in ("insert", "contains"):
+            if len(operator.args) != 1:
+                raise ValueError(f"{operator.name} takes exactly one argument")
+        elif operator.name in ("size", "snapshot"):
+            if operator.args:
+                raise ValueError(f"{operator.name} takes no arguments")
+        else:
+            raise ValueError(f"unknown gset operator: {operator.name}")

@@ -1,0 +1,75 @@
+"""FIFO queue serial data type."""
+
+from __future__ import annotations
+
+from typing import Any, Tuple
+
+from repro.datatypes.base import Operator, SerialDataType
+
+
+class QueueType(SerialDataType):
+    """A FIFO queue.
+
+    Operators:
+
+    * ``enqueue(x)`` — add ``x`` at the tail; reports the queue length after;
+    * ``dequeue`` — remove and report the head (or ``None`` if empty);
+    * ``peek`` — report the head without removing it (or ``None``);
+    * ``length`` — report the number of queued items.
+    """
+
+    name = "queue"
+
+    @staticmethod
+    def enqueue(item: Any) -> Operator:
+        return Operator("enqueue", (item,))
+
+    @staticmethod
+    def dequeue() -> Operator:
+        return Operator("dequeue")
+
+    @staticmethod
+    def peek() -> Operator:
+        return Operator("peek")
+
+    @staticmethod
+    def length() -> Operator:
+        return Operator("length")
+
+    def initial_state(self) -> Tuple[Any, ...]:
+        return ()
+
+    def apply(self, state: Tuple[Any, ...], operator: Operator) -> Tuple[Tuple[Any, ...], Any]:
+        if operator.name == "enqueue":
+            (item,) = operator.args
+            new = state + (item,)
+            return new, len(new)
+        if operator.name == "dequeue":
+            if not state:
+                return state, None
+            return state[1:], state[0]
+        if operator.name == "peek":
+            return state, (state[0] if state else None)
+        if operator.name == "length":
+            return state, len(state)
+        raise ValueError(f"unknown queue operator: {operator.name}")
+
+    def is_read_only(self, op: Operator) -> bool:
+        return op.name in ("peek", "length")
+
+    def commute(self, a: Operator, b: Operator) -> bool:
+        # Queue mutations essentially never commute (order is observable).
+        return self.is_read_only(a) or self.is_read_only(b)
+
+    def oblivious(self, a: Operator, b: Operator) -> bool:
+        return self.is_read_only(b)
+
+    def check_operator(self, operator: Operator) -> None:
+        if operator.name == "enqueue":
+            if len(operator.args) != 1:
+                raise ValueError("enqueue takes exactly one argument")
+        elif operator.name in ("dequeue", "peek", "length"):
+            if operator.args:
+                raise ValueError(f"{operator.name} takes no arguments")
+        else:
+            raise ValueError(f"unknown queue operator: {operator.name}")

@@ -1,0 +1,72 @@
+"""Read/write register serial data type."""
+
+from __future__ import annotations
+
+from typing import Any, Tuple
+
+from repro.datatypes.base import Operator, SerialDataType
+
+
+class RegisterType(SerialDataType):
+    """A single read/write register.
+
+    Operators:
+
+    * ``read`` — reports the current value, leaves the state unchanged;
+    * ``write(v)`` — sets the value to ``v`` and reports the value written
+      (an "ack" that carries the written value).
+
+    The initial value defaults to ``None`` but may be overridden.
+    """
+
+    name = "register"
+
+    def __init__(self, initial: Any = None) -> None:
+        self._initial = initial
+
+    @staticmethod
+    def read() -> Operator:
+        """Build a ``read`` operator."""
+        return Operator("read")
+
+    @staticmethod
+    def write(value: Any) -> Operator:
+        """Build a ``write(value)`` operator."""
+        return Operator("write", (value,))
+
+    def initial_state(self) -> Any:
+        return self._initial
+
+    def apply(self, state: Any, operator: Operator) -> Tuple[Any, Any]:
+        if operator.name == "read":
+            return state, state
+        if operator.name == "write":
+            (value,) = operator.args
+            return value, value
+        raise ValueError(f"unknown register operator: {operator.name}")
+
+    def is_read_only(self, op: Operator) -> bool:
+        return op.name == "read"
+
+    def commute(self, a: Operator, b: Operator) -> bool:
+        if self.is_read_only(a) or self.is_read_only(b):
+            return True
+        # Two writes commute only when they write the same value.
+        return a.args == b.args
+
+    def oblivious(self, a: Operator, b: Operator) -> bool:
+        if self.is_read_only(b):
+            return True
+        # a's value is unaffected by a preceding write only when a is itself a
+        # write (its reported value is the value it writes).
+        return a.name == "write"
+
+    def check_operator(self, operator: Operator) -> None:
+        if operator.name == "read":
+            if operator.args:
+                raise ValueError("read takes no arguments")
+        elif operator.name == "write":
+            if len(operator.args) != 1:
+                raise ValueError("write takes exactly one argument")
+        else:
+            raise ValueError(f"unknown register operator: {operator.name}")

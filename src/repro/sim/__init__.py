@@ -1,0 +1,45 @@
+"""Discrete-event simulation substrate for the performance evaluation.
+
+The paper's evaluation (Section 9 analytically, Section 11.1 experimentally
+via Cheiner's C++/MPI implementation) measures response latency, throughput
+scaling with the number of replicas, and the cost of strict operations.  We
+substitute the workstation network with a discrete-event simulator: processes
+are the same :mod:`repro.algorithm` state machines, message delays and gossip
+periods are explicit simulation parameters (``df``, ``dg``, ``g`` of
+Section 9.1), and replicas have a configurable per-operation service time so
+that throughput saturation and scaling are observable.
+
+* :mod:`repro.sim.events` — the event queue and simulated clock;
+* :mod:`repro.sim.network` — message delays, loss, partitions, delay spikes;
+* :mod:`repro.sim.cluster` — the simulated ESDS deployment (replicas, front
+  ends, gossip timers) with a synchronous ``execute`` facade;
+* :mod:`repro.sim.workload` — client workload generators (operation mix,
+  arrival processes, strict fraction, dependency policies);
+* :mod:`repro.sim.metrics` — latency / throughput / message accounting;
+* :mod:`repro.sim.faults` — crash, restart and timing-violation schedules.
+"""
+
+from repro.sim.events import EventQueue, Simulator
+from repro.sim.network import NetworkModel, SimulatedNetwork
+from repro.sim.metrics import LatencyRecord, MetricsCollector
+from repro.sim.cluster import SimulatedCluster, SimulationParams
+from repro.sim.workload import ClientWorkload, WorkloadResult, WorkloadSpec, run_workload
+from repro.sim.faults import FaultSchedule, GossipOutage, ReplicaCrash
+
+__all__ = [
+    "EventQueue",
+    "Simulator",
+    "NetworkModel",
+    "SimulatedNetwork",
+    "LatencyRecord",
+    "MetricsCollector",
+    "SimulatedCluster",
+    "SimulationParams",
+    "ClientWorkload",
+    "WorkloadResult",
+    "WorkloadSpec",
+    "run_workload",
+    "FaultSchedule",
+    "GossipOutage",
+    "ReplicaCrash",
+]

@@ -1,0 +1,460 @@
+"""A simulated ESDS deployment.
+
+``SimulatedCluster`` instantiates the algorithm's replica and front-end state
+machines, connects them through a :class:`~repro.sim.network.SimulatedNetwork`
+with the Section 9.1 timing parameters (``df``, ``dg``, gossip period ``g``),
+adds a per-operation service time at replicas (so that throughput saturation
+and scaling are observable, as in Cheiner's experiments), and drives the
+whole thing from a discrete-event loop.
+
+The cluster exposes two usage styles:
+
+* an asynchronous style used by the benchmarks: ``submit`` operations (or use
+  :func:`repro.sim.workload.run_workload`), ``run`` the clock, then read the
+  metrics;
+* a synchronous facade used by the examples and applications: ``execute``
+  submits one operation and runs the simulation until its response arrives,
+  returning the value — the closest analogue of calling a real service.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.algorithm.frontend import FrontEndCore
+from repro.algorithm.labels import label_min, label_sort_key
+from repro.algorithm.messages import GossipMessage, RequestMessage, ResponseMessage
+from repro.algorithm.replica import ReplicaCore
+from repro.common import INFINITY, ConfigurationError, OperationId, OperationIdGenerator
+from repro.core.operations import OperationDescriptor, make_operation
+from repro.datatypes.base import Operator, SerialDataType
+from repro.sim.events import Simulator
+from repro.sim.metrics import MetricsCollector
+from repro.sim.network import NetworkModel, SimulatedNetwork
+from repro.spec.guarantees import TraceRecord
+
+ReplicaFactory = Callable[[str, Sequence[str], SerialDataType], ReplicaCore]
+
+
+@dataclass
+class SimulationParams:
+    """Timing and policy parameters of a simulated deployment.
+
+    ``df``, ``dg`` and ``gossip_period`` are the Section 9.1 quantities; the
+    remaining fields model the implementation aspects the paper abstracts
+    away but Cheiner's evaluation depends on (processing capacity, front-end
+    routing).
+    """
+
+    #: Maximum front-end <-> replica message delay (the paper's ``df``).
+    df: float = 1.0
+    #: Maximum replica <-> replica message delay (the paper's ``dg``).
+    dg: float = 1.0
+    #: Time between successive gossip sends from a replica (the paper's ``g``).
+    gossip_period: float = 2.0
+    #: Delay jitter fraction; 0 means deterministic worst-case delays.
+    jitter: float = 0.0
+    #: Per-message loss probability (safety must be unaffected).
+    loss_probability: float = 0.0
+    #: Delay multiplier applied during delay-spike fault windows.
+    spike_factor: float = 1.0
+    #: Time a replica is busy processing one client request.
+    service_time: float = 0.0
+    #: Time a replica is busy processing one gossip message.
+    gossip_processing_time: float = 0.0
+    #: Number of replicas each request is sent to (>=1; extras are redundant).
+    request_fanout: int = 1
+    #: Front-end routing policy: "affinity" (client pinned to one replica),
+    #: "round_robin" or "random".
+    frontend_policy: str = "affinity"
+    #: Stagger the first gossip tick of each replica to avoid lock-step bursts.
+    gossip_stagger: bool = True
+    #: Track the time at which each operation becomes stable everywhere
+    #: (adds bookkeeping cost; needed by experiment E5).
+    track_stabilization: bool = False
+    #: When set, front ends re-send the request for an unanswered operation
+    #: every this-many time units (the repeated ``send_cr`` the paper allows,
+    #: used to mask message loss and partitions).
+    retransmit_interval: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.request_fanout < 1:
+            raise ConfigurationError("request_fanout must be at least 1")
+        if self.frontend_policy not in ("affinity", "round_robin", "random"):
+            raise ConfigurationError(f"unknown frontend policy {self.frontend_policy!r}")
+        if self.gossip_period <= 0:
+            raise ConfigurationError("gossip_period must be positive")
+
+
+class SimulatedCluster:
+    """A full ESDS deployment under simulated time."""
+
+    def __init__(
+        self,
+        data_type: SerialDataType,
+        num_replicas: int = 3,
+        client_ids: Sequence[str] = ("c0",),
+        params: Optional[SimulationParams] = None,
+        replica_factory: Optional[ReplicaFactory] = None,
+        seed: int = 0,
+    ) -> None:
+        if num_replicas < 2:
+            raise ConfigurationError("the algorithm assumes at least two replicas")
+        self.data_type = data_type
+        self.params = params or SimulationParams()
+        self.rng = random.Random(seed)
+        self.simulator = Simulator()
+        self.network = SimulatedNetwork(
+            NetworkModel(
+                df=self.params.df,
+                dg=self.params.dg,
+                jitter=self.params.jitter,
+                loss_probability=self.params.loss_probability,
+                spike_factor=self.params.spike_factor,
+            ),
+            self.rng,
+        )
+
+        self.replica_ids: Tuple[str, ...] = tuple(f"r{i}" for i in range(num_replicas))
+        factory = replica_factory or ReplicaCore
+        self.replicas: Dict[str, ReplicaCore] = {
+            rid: factory(rid, self.replica_ids, data_type) for rid in self.replica_ids
+        }
+        self.client_ids: Tuple[str, ...] = tuple(client_ids)
+        self.frontends: Dict[str, FrontEndCore] = {
+            cid: FrontEndCore(cid) for cid in self.client_ids
+        }
+        self.id_generators: Dict[str, OperationIdGenerator] = {
+            cid: OperationIdGenerator(cid) for cid in self.client_ids
+        }
+
+        self.metrics = MetricsCollector()
+        self.trace = TraceRecord()
+        #: Values delivered to clients, by operation identifier.
+        self.responded: Dict[OperationId, Any] = {}
+        self.requested: Dict[OperationId, OperationDescriptor] = {}
+
+        self._crashed: Set[str] = set()
+        self._replica_busy_until: Dict[str, float] = {rid: 0.0 for rid in self.replica_ids}
+        self._round_robin_index = 0
+        self._affinity: Dict[str, str] = {
+            cid: self.replica_ids[i % len(self.replica_ids)]
+            for i, cid in enumerate(self.client_ids)
+        }
+        self._gossip_started = False
+        self._unstable: Set[OperationId] = set()
+
+    # ===================================================================== #
+    # Lifecycle                                                             #
+    # ===================================================================== #
+
+    def start(self) -> None:
+        """Start the gossip timers.  Called automatically on first use."""
+        if self._gossip_started:
+            return
+        self._gossip_started = True
+        for index, rid in enumerate(self.replica_ids):
+            offset = 0.0
+            if self.params.gossip_stagger and len(self.replica_ids) > 1:
+                offset = (index / len(self.replica_ids)) * self.params.gossip_period
+            self.simulator.schedule(offset + self.params.gossip_period, self._gossip_tick(rid))
+        self.metrics.started_at = self.simulator.now
+
+    @property
+    def now(self) -> float:
+        """Current simulation time."""
+        return self.simulator.now
+
+    def run(self, duration: float, max_events: Optional[int] = None) -> None:
+        """Advance simulated time by *duration*."""
+        self.start()
+        self.simulator.run_until(self.simulator.now + duration, max_events)
+        self.metrics.finished_at = self.simulator.now
+
+    def run_until_idle(self, max_time: float = 10_000.0, max_events: int = 5_000_000) -> None:
+        """Run until every submitted operation has been answered (or the time
+        budget is exhausted — e.g. when a replica stays crashed and strict
+        operations cannot complete)."""
+        self.start()
+        deadline = self.simulator.now + max_time
+        events = 0
+        while self.outstanding_operations() and self.simulator.now < deadline:
+            if not self.simulator.step():
+                break
+            events += 1
+            if events >= max_events:
+                break
+        self.metrics.finished_at = self.simulator.now
+
+    def outstanding_operations(self) -> int:
+        """Number of submitted operations that have not been answered yet."""
+        return len(set(self.requested) - set(self.responded))
+
+    # ===================================================================== #
+    # Client interface                                                      #
+    # ===================================================================== #
+
+    def make_operation(
+        self,
+        client: str,
+        operator: Operator,
+        prev: Iterable[OperationId] = (),
+        strict: bool = False,
+    ) -> OperationDescriptor:
+        """Build a fresh, well-formed operation descriptor for *client*."""
+        self.data_type.check_operator(operator)
+        prev_ids = frozenset(prev)
+        unknown = prev_ids - set(self.requested)
+        if unknown:
+            raise ConfigurationError(
+                f"prev references operations never requested: {sorted(map(str, unknown))}"
+            )
+        return make_operation(operator, self.id_generators[client].fresh(), prev_ids, strict)
+
+    def submit(
+        self,
+        client: str,
+        operator: Operator,
+        prev: Iterable[OperationId] = (),
+        strict: bool = False,
+        at: Optional[float] = None,
+    ) -> OperationDescriptor:
+        """Submit an operation at simulation time *at* (default: now)."""
+        self.start()
+        operation = self.make_operation(client, operator, prev, strict)
+        self.requested[operation.id] = operation
+        self._unstable.add(operation.id)
+        when = self.simulator.now if at is None else at
+        self.simulator.schedule_at(when, lambda op=operation: self._on_request(op))
+        return operation
+
+    def execute(
+        self,
+        client: str,
+        operator: Operator,
+        prev: Iterable[OperationId] = (),
+        strict: bool = False,
+        max_time: float = 10_000.0,
+    ) -> Tuple[OperationDescriptor, Any]:
+        """Synchronous facade: submit, run until answered, return the value."""
+        operation = self.submit(client, operator, prev, strict)
+        deadline = self.simulator.now + max_time
+        while operation.id not in self.responded and self.simulator.now < deadline:
+            if not self.simulator.step():
+                break
+        if operation.id not in self.responded:
+            raise RuntimeError(
+                f"operation {operation.id} received no response within {max_time} time units"
+            )
+        return operation, self.responded[operation.id]
+
+    def value_of(self, operation: OperationDescriptor) -> Any:
+        """The value returned to the client for *operation* (KeyError if none)."""
+        return self.responded[operation.id]
+
+    # ===================================================================== #
+    # Internal event handlers                                               #
+    # ===================================================================== #
+
+    def _choose_replicas(self, client: str) -> List[str]:
+        alive = [rid for rid in self.replica_ids if rid not in self._crashed]
+        pool = alive or list(self.replica_ids)
+        policy = self.params.frontend_policy
+        if policy == "affinity":
+            primary = self._affinity[client]
+            if primary not in pool:
+                primary = pool[0]
+            ordered = [primary] + [rid for rid in pool if rid != primary]
+        elif policy == "round_robin":
+            start = self._round_robin_index % len(pool)
+            self._round_robin_index += 1
+            ordered = pool[start:] + pool[:start]
+        else:  # random
+            ordered = list(pool)
+            self.rng.shuffle(ordered)
+        return ordered[: self.params.request_fanout]
+
+    def _on_request(self, operation: OperationDescriptor) -> None:
+        client = operation.id.client
+        frontend = self.frontends[client]
+        frontend.request(operation)
+        self.metrics.record_request(operation, self.simulator.now)
+        self.trace.record_request(operation)
+        for rid in self._choose_replicas(client):
+            self._send_request(client, rid, operation)
+        if self.params.retransmit_interval is not None:
+            self.simulator.schedule(
+                self.params.retransmit_interval, lambda: self._retransmit(operation)
+            )
+
+    def _retransmit(self, operation: OperationDescriptor) -> None:
+        """Re-send the request for a still-unanswered operation (Fig. 6 allows
+        the front end to send a pending request repeatedly)."""
+        if operation.id in self.responded:
+            return
+        client = operation.id.client
+        for rid in self._choose_replicas(client):
+            self._send_request(client, rid, operation)
+        self.simulator.schedule(
+            self.params.retransmit_interval, lambda: self._retransmit(operation)
+        )
+
+    def _send_request(self, client: str, replica: str, operation: OperationDescriptor) -> None:
+        message = self.frontends[client].make_request_message(operation)
+        if self.network.should_drop("request", client, replica):
+            return
+        self.network.record_sent("request")
+        delay = self.network.delay_for("request", self.simulator.now)
+        self.simulator.schedule(delay, lambda: self._deliver_request(replica, message))
+
+    def _deliver_request(self, replica: str, message: RequestMessage) -> None:
+        if replica in self._crashed:
+            return
+        start = max(self.simulator.now, self._replica_busy_until[replica])
+        finish = start + self.params.service_time
+        self._replica_busy_until[replica] = finish
+        if finish <= self.simulator.now:
+            self._process_request(replica, message)
+        else:
+            self.simulator.schedule_at(finish, lambda: self._process_request(replica, message))
+
+    def _process_request(self, replica: str, message: RequestMessage) -> None:
+        if replica in self._crashed:
+            return
+        core = self.replicas[replica]
+        core.receive_request(message)
+        core.do_all_ready()
+        self._try_respond(replica)
+
+    def _try_respond(self, replica: str) -> None:
+        core = self.replicas[replica]
+        for operation in core.ready_responses():
+            message = core.make_response(operation)
+            client = operation.id.client
+            if self.network.should_drop("response", replica, client):
+                continue
+            self.network.record_sent("response")
+            delay = self.network.delay_for("response", self.simulator.now)
+            self.simulator.schedule(delay, lambda m=message, c=client: self._deliver_response(c, m))
+
+    def _deliver_response(self, client: str, message: ResponseMessage) -> None:
+        frontend = self.frontends[client]
+        if not frontend.receive_response(message):
+            return
+        value = frontend.respond(message.operation)
+        self.responded[message.operation.id] = value
+        self.metrics.record_response(message.operation, value, self.simulator.now)
+        self.trace.record_response(message.operation, value)
+
+    # -- gossip ------------------------------------------------------------------
+
+    def _gossip_tick(self, replica: str) -> Callable[[], None]:
+        def tick() -> None:
+            if replica not in self._crashed:
+                for destination in self.replica_ids:
+                    if destination == replica:
+                        continue
+                    self._send_gossip(replica, destination)
+            self.simulator.schedule(self.params.gossip_period, tick)
+
+        return tick
+
+    def _send_gossip(self, source: str, destination: str) -> None:
+        if source in self._crashed:
+            return
+        message = self.replicas[source].make_gossip()
+        if self.network.should_drop("gossip", source, destination):
+            return
+        self.network.record_sent("gossip", payload_size=message.size_estimate())
+        delay = self.network.delay_for("gossip", self.simulator.now)
+        self.simulator.schedule(delay, lambda: self._deliver_gossip(destination, message))
+
+    def _deliver_gossip(self, destination: str, message: GossipMessage) -> None:
+        if destination in self._crashed:
+            return
+        if self.params.gossip_processing_time > 0:
+            start = max(self.simulator.now, self._replica_busy_until[destination])
+            finish = start + self.params.gossip_processing_time
+            self._replica_busy_until[destination] = finish
+            if finish > self.simulator.now:
+                self.simulator.schedule_at(
+                    finish, lambda: self._process_gossip(destination, message)
+                )
+                return
+        self._process_gossip(destination, message)
+
+    def _process_gossip(self, destination: str, message: GossipMessage) -> None:
+        if destination in self._crashed:
+            return
+        core = self.replicas[destination]
+        core.receive_gossip(message)
+        core.do_all_ready()
+        self._try_respond(destination)
+        if self.params.track_stabilization:
+            self._update_stabilization()
+
+    def _update_stabilization(self) -> None:
+        if not self._unstable:
+            return
+        newly_stable: List[OperationId] = []
+        for op_id in self._unstable:
+            operation = self.requested[op_id]
+            if all(operation in rep.stable_here() for rep in self.replicas.values()):
+                newly_stable.append(op_id)
+        for op_id in newly_stable:
+            self._unstable.discard(op_id)
+            self.metrics.record_stabilization(op_id, self.simulator.now)
+
+    # ===================================================================== #
+    # Fault injection hooks (used by repro.sim.faults)                      #
+    # ===================================================================== #
+
+    def crash_replica(self, replica: str, volatile_memory: bool = True) -> None:
+        """Crash a replica; its state is lost when memory is volatile except
+        for the locally generated labels kept in stable storage."""
+        self._crashed.add(replica)
+        self.replicas[replica].crash(volatile_memory=volatile_memory)
+
+    def recover_replica(self, replica: str) -> None:
+        """Restart a crashed replica: reload stable storage and ask every
+        other replica for fresh gossip (the Section 9.3 recovery protocol)."""
+        self._crashed.discard(replica)
+        self.replicas[replica].recover_from_stable_storage()
+        for other in self.replica_ids:
+            if other != replica and other not in self._crashed:
+                self._send_gossip(other, replica)
+                self._send_gossip(replica, other)
+
+    # ===================================================================== #
+    # Derived views                                                         #
+    # ===================================================================== #
+
+    def minlabel(self, op_id: OperationId):
+        best = INFINITY
+        for replica in self.replicas.values():
+            best = label_min(best, replica.label_of(op_id))
+        return best
+
+    def eventual_order(self) -> List[OperationId]:
+        """Identifiers of all requested operations ordered by system-wide
+        minimum label (unlabelled operations last, deterministically)."""
+        labelled = [
+            op_id for op_id in self.requested if self.minlabel(op_id) is not INFINITY
+        ]
+        labelled.sort(key=lambda op_id: label_sort_key(self.minlabel(op_id)))
+        unlabelled = sorted(
+            (op_id for op_id in self.requested if self.minlabel(op_id) is INFINITY), key=repr
+        )
+        return labelled + unlabelled
+
+    def total_value_applications(self) -> int:
+        """Total operator applications performed by replicas when computing
+        response values (the recomputation cost the Section 10 optimizations
+        reduce)."""
+        return sum(rep.stats.value_applications for rep in self.replicas.values())
+
+    def total_applications(self) -> int:
+        """All operator applications (value computation plus memoization)."""
+        return sum(rep.stats.total_applications() for rep in self.replicas.values())

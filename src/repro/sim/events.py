@@ -1,0 +1,110 @@
+"""Event queue and simulated clock.
+
+A minimal discrete-event core: events are ``(time, sequence, callback)``
+entries in a binary heap; the simulator pops them in time order and advances
+its clock.  Sequence numbers make the order of simultaneous events
+deterministic (FIFO among equal timestamps), which keeps every experiment
+reproducible for a given seed.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, List, Optional, Tuple
+
+
+@dataclass(order=True)
+class _QueuedEvent:
+    time: float
+    sequence: int
+    callback: Callable[[], None] = field(compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+
+class EventQueue:
+    """A heap of scheduled callbacks."""
+
+    def __init__(self) -> None:
+        self._heap: List[_QueuedEvent] = []
+        self._counter = itertools.count()
+
+    def push(self, time: float, callback: Callable[[], None]) -> _QueuedEvent:
+        event = _QueuedEvent(time=time, sequence=next(self._counter), callback=callback)
+        heapq.heappush(self._heap, event)
+        return event
+
+    def pop(self) -> Optional[_QueuedEvent]:
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if not event.cancelled:
+                return event
+        return None
+
+    def peek_time(self) -> Optional[float]:
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+        return self._heap[0].time if self._heap else None
+
+    def __len__(self) -> int:
+        return sum(1 for event in self._heap if not event.cancelled)
+
+    def __bool__(self) -> bool:
+        return len(self) > 0
+
+
+class Simulator:
+    """The discrete-event loop: a clock plus an :class:`EventQueue`."""
+
+    def __init__(self) -> None:
+        self.now: float = 0.0
+        self.queue = EventQueue()
+        self.events_processed = 0
+
+    def schedule(self, delay: float, callback: Callable[[], None]) -> _QueuedEvent:
+        """Schedule *callback* to run *delay* time units from now."""
+        if delay < 0:
+            raise ValueError("cannot schedule an event in the past")
+        return self.queue.push(self.now + delay, callback)
+
+    def schedule_at(self, time: float, callback: Callable[[], None]) -> _QueuedEvent:
+        """Schedule *callback* at an absolute simulation time."""
+        if time < self.now:
+            raise ValueError("cannot schedule an event in the past")
+        return self.queue.push(time, callback)
+
+    def cancel(self, event: _QueuedEvent) -> None:
+        """Cancel a previously scheduled event."""
+        event.cancelled = True
+
+    def step(self) -> bool:
+        """Process one event; returns ``False`` when the queue is empty."""
+        event = self.queue.pop()
+        if event is None:
+            return False
+        self.now = event.time
+        event.callback()
+        self.events_processed += 1
+        return True
+
+    def run_until(self, time: float, max_events: Optional[int] = None) -> None:
+        """Process events until the clock passes *time* (or the queue drains)."""
+        processed = 0
+        while True:
+            next_time = self.queue.peek_time()
+            if next_time is None or next_time > time:
+                self.now = max(self.now, time)
+                return
+            self.step()
+            processed += 1
+            if max_events is not None and processed >= max_events:
+                return
+
+    def run_until_empty(self, max_events: int = 10_000_000) -> None:
+        """Process events until nothing is scheduled (bounded as a safeguard)."""
+        processed = 0
+        while self.step():
+            processed += 1
+            if processed >= max_events:
+                raise RuntimeError("simulation exceeded the maximum event budget")

@@ -1,0 +1,105 @@
+"""Fault schedules for the simulator (Section 9.3).
+
+The paper's fault-tolerance claims are of two kinds: *safety* is unaffected
+by message loss, duplication, reordering and crashes (with the stable-storage
+caveat for locally generated labels), and *performance* recovers once the
+timing assumptions hold again (Theorem 9.4).  The fault classes below inject
+exactly those disturbances into a :class:`~repro.sim.cluster.SimulatedCluster`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+from repro.sim.cluster import SimulatedCluster
+
+
+@dataclass
+class ReplicaCrash:
+    """Crash a replica at ``at`` and (optionally) recover it at ``recover_at``."""
+
+    replica: str
+    at: float
+    recover_at: Optional[float] = None
+    volatile_memory: bool = True
+
+    def install(self, cluster: SimulatedCluster) -> None:
+        cluster.simulator.schedule_at(
+            self.at, lambda: cluster.crash_replica(self.replica, self.volatile_memory)
+        )
+        if self.recover_at is not None:
+            if self.recover_at <= self.at:
+                raise ValueError("recover_at must come after the crash time")
+            cluster.simulator.schedule_at(
+                self.recover_at, lambda: cluster.recover_replica(self.replica)
+            )
+
+    def end_time(self) -> float:
+        return self.recover_at if self.recover_at is not None else self.at
+
+
+@dataclass
+class GossipOutage:
+    """Partition a replica away from gossip during ``[start, end)``.
+
+    Messages to and from the replica are dropped by the network, which is how
+    the paper models an unreachable or slow replica — indistinguishable from
+    message delay, so safety is unaffected.
+    """
+
+    replica: str
+    start: float
+    end: float
+
+    def install(self, cluster: SimulatedCluster) -> None:
+        if self.end <= self.start:
+            raise ValueError("outage end must come after its start")
+        cluster.simulator.schedule_at(
+            self.start, lambda: cluster.network.partition(self.replica)
+        )
+        cluster.simulator.schedule_at(self.end, lambda: cluster.network.heal(self.replica))
+
+    def end_time(self) -> float:
+        return self.end
+
+
+@dataclass
+class DelaySpike:
+    """Multiply message delays by the network's ``spike_factor`` during
+    ``[start, end)`` — a period in which the timing assumptions of
+    Section 9.1 do not hold."""
+
+    start: float
+    end: float
+
+    def install(self, cluster: SimulatedCluster) -> None:
+        if self.end <= self.start:
+            raise ValueError("spike end must come after its start")
+        cluster.simulator.schedule_at(
+            self.start, lambda: cluster.network.start_delay_spike(self.end)
+        )
+
+    def end_time(self) -> float:
+        return self.end
+
+
+@dataclass
+class FaultSchedule:
+    """A collection of faults to install on a cluster before running it."""
+
+    faults: List = field(default_factory=list)
+
+    def add(self, fault) -> "FaultSchedule":
+        self.faults.append(fault)
+        return self
+
+    def install(self, cluster: SimulatedCluster) -> None:
+        cluster.start()
+        for fault in self.faults:
+            fault.install(cluster)
+
+    def last_fault_time(self) -> float:
+        """The time after which the timing assumptions hold again (the ``t``
+        of Theorem 9.4)."""
+        return max((fault.end_time() for fault in self.faults), default=0.0)

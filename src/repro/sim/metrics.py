@@ -1,0 +1,149 @@
+"""Latency, throughput and stabilization metrics for simulated runs."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Optional
+
+from repro.common import OperationId
+from repro.core.operations import OperationDescriptor
+
+
+def classify_operation(operation: OperationDescriptor) -> str:
+    """The three operation classes of Theorem 9.3."""
+    if operation.strict:
+        return "strict"
+    if operation.prev:
+        return "nonstrict_with_prev"
+    return "nonstrict_no_prev"
+
+
+@dataclass
+class LatencyRecord:
+    """One completed operation."""
+
+    operation: OperationDescriptor
+    request_time: float
+    response_time: float
+    value: Any = None
+
+    @property
+    def latency(self) -> float:
+        return self.response_time - self.request_time
+
+    @property
+    def category(self) -> str:
+        return classify_operation(self.operation)
+
+
+def _percentile(sorted_values: List[float], fraction: float) -> float:
+    if not sorted_values:
+        return math.nan
+    index = min(len(sorted_values) - 1, max(0, int(math.ceil(fraction * len(sorted_values))) - 1))
+    return sorted_values[index]
+
+
+@dataclass
+class LatencySummary:
+    """Aggregate statistics over a set of latency records."""
+
+    count: int
+    mean: float
+    minimum: float
+    maximum: float
+    p50: float
+    p95: float
+
+    @classmethod
+    def from_latencies(cls, latencies: Iterable[float]) -> "LatencySummary":
+        values = sorted(latencies)
+        if not values:
+            return cls(count=0, mean=math.nan, minimum=math.nan, maximum=math.nan,
+                       p50=math.nan, p95=math.nan)
+        return cls(
+            count=len(values),
+            mean=sum(values) / len(values),
+            minimum=values[0],
+            maximum=values[-1],
+            p50=_percentile(values, 0.50),
+            p95=_percentile(values, 0.95),
+        )
+
+
+class MetricsCollector:
+    """Collects per-operation and system-wide measurements during a run."""
+
+    def __init__(self) -> None:
+        self.records: List[LatencyRecord] = []
+        self._request_times: Dict[OperationId, float] = {}
+        #: Simulation time at which each operation was first observed stable
+        #: at every replica (filled in by the cluster's gossip handler).
+        self.stabilization_times: Dict[OperationId, float] = {}
+        self.started_at: float = 0.0
+        self.finished_at: float = 0.0
+
+    # -- recording -------------------------------------------------------------
+
+    def record_request(self, operation: OperationDescriptor, time: float) -> None:
+        self._request_times[operation.id] = time
+
+    def record_response(self, operation: OperationDescriptor, value: Any, time: float) -> None:
+        request_time = self._request_times.get(operation.id)
+        if request_time is None:
+            return
+        self.records.append(
+            LatencyRecord(
+                operation=operation,
+                request_time=request_time,
+                response_time=time,
+                value=value,
+            )
+        )
+
+    def record_stabilization(self, op_id: OperationId, time: float) -> None:
+        self.stabilization_times.setdefault(op_id, time)
+
+    def request_time_of(self, op_id: OperationId) -> Optional[float]:
+        return self._request_times.get(op_id)
+
+    # -- summaries ---------------------------------------------------------------
+
+    @property
+    def completed(self) -> int:
+        return len(self.records)
+
+    @property
+    def outstanding(self) -> int:
+        answered = {record.operation.id for record in self.records}
+        return len(set(self._request_times) - answered)
+
+    def latency_summary(self, category: Optional[str] = None) -> LatencySummary:
+        latencies = [
+            record.latency
+            for record in self.records
+            if category is None or record.category == category
+        ]
+        return LatencySummary.from_latencies(latencies)
+
+    def throughput(self, duration: Optional[float] = None) -> float:
+        """Completed operations per unit simulated time."""
+        span = duration if duration is not None else (self.finished_at - self.started_at)
+        if span <= 0:
+            return 0.0
+        return self.completed / span
+
+    def max_latency_by_category(self) -> Dict[str, float]:
+        result: Dict[str, float] = {}
+        for record in self.records:
+            result[record.category] = max(result.get(record.category, 0.0), record.latency)
+        return result
+
+    def stabilization_summary(self) -> LatencySummary:
+        """Time from request to system-wide stability."""
+        values = []
+        for op_id, stable_time in self.stabilization_times.items():
+            request_time = self._request_times.get(op_id)
+            if request_time is not None:
+                values.append(stable_time - request_time)
+        return LatencySummary.from_latencies(values)

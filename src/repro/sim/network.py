@@ -1,0 +1,118 @@
+"""Network model for the simulator.
+
+Delays follow the Section 9.1 parameters: ``df`` bounds front-end <-> replica
+delivery, ``dg`` bounds replica <-> replica (gossip) delivery.  Deliveries may
+optionally be jittered below the bound (the bound is an upper bound in the
+paper), dropped, or delayed by fault windows (used for the Theorem 9.4
+recovery experiment E4).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Set, Tuple
+
+
+@dataclass
+class NetworkModel:
+    """Delay / loss configuration.
+
+    ``df`` and ``dg`` are the *maximum* delays; with ``jitter`` in ``(0, 1]``
+    the actual delay is drawn uniformly from ``[(1-jitter)*d, d]``.  Loss is
+    applied per message.  ``partition`` is a set of replica identifiers that
+    are currently unreachable (messages to or from them are dropped).
+    """
+
+    df: float = 1.0
+    dg: float = 1.0
+    jitter: float = 0.0
+    loss_probability: float = 0.0
+    #: Multiplier applied to delays during a delay-spike fault window.
+    spike_factor: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.df < 0 or self.dg < 0:
+            raise ValueError("delays must be non-negative")
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ValueError("jitter must be within [0, 1]")
+        if not 0.0 <= self.loss_probability < 1.0:
+            raise ValueError("loss probability must be within [0, 1)")
+
+
+@dataclass
+class MessageCounters:
+    """Per-category message accounting for the overhead experiment (E8)."""
+
+    request: int = 0
+    response: int = 0
+    gossip: int = 0
+    dropped: int = 0
+    gossip_payload: int = 0
+
+    def total(self) -> int:
+        return self.request + self.response + self.gossip
+
+
+class SimulatedNetwork:
+    """Computes delays and applies loss/partition policy for the cluster."""
+
+    def __init__(self, model: NetworkModel, rng: random.Random) -> None:
+        self.model = model
+        self.rng = rng
+        self.counters = MessageCounters()
+        #: Replica / client identifiers currently partitioned away.
+        self.partitioned: Set[str] = set()
+        #: When > simulator time, delays are multiplied by ``spike_factor``.
+        self._spike_until: float = float("-inf")
+
+    # -- fault control ---------------------------------------------------------
+
+    def partition(self, node: str) -> None:
+        """Disconnect *node*: messages to or from it are dropped."""
+        self.partitioned.add(node)
+
+    def heal(self, node: str) -> None:
+        """Reconnect *node*."""
+        self.partitioned.discard(node)
+
+    def start_delay_spike(self, until: float) -> None:
+        """Multiply delays by ``spike_factor`` until simulation time *until*."""
+        self._spike_until = until
+
+    # -- delay / loss decisions ------------------------------------------------
+
+    def _base_delay(self, kind: str) -> float:
+        bound = self.model.df if kind in ("request", "response") else self.model.dg
+        if self.model.jitter > 0:
+            low = (1.0 - self.model.jitter) * bound
+            return self.rng.uniform(low, bound)
+        return bound
+
+    def delay_for(self, kind: str, now: float) -> float:
+        """The delivery delay for a message of the given kind sent at *now*."""
+        delay = self._base_delay(kind)
+        if now < self._spike_until:
+            delay *= max(self.model.spike_factor, 1.0)
+        return delay
+
+    def should_drop(self, kind: str, source: str, destination: str) -> bool:
+        """Loss and partition policy."""
+        if source in self.partitioned or destination in self.partitioned:
+            self.counters.dropped += 1
+            return True
+        if self.model.loss_probability > 0 and self.rng.random() < self.model.loss_probability:
+            self.counters.dropped += 1
+            return True
+        return False
+
+    def record_sent(self, kind: str, payload_size: int = 0) -> None:
+        if kind == "request":
+            self.counters.request += 1
+        elif kind == "response":
+            self.counters.response += 1
+        elif kind == "gossip":
+            self.counters.gossip += 1
+            self.counters.gossip_payload += payload_size
+        else:  # pragma: no cover - defensive
+            raise ValueError(f"unknown message kind {kind!r}")

@@ -1,0 +1,164 @@
+"""Client workload generation for the simulated cluster.
+
+``WorkloadSpec`` describes what clients do: the operator mix, how often they
+submit, what fraction of requests are strict, and how ``prev`` dependencies
+are chosen.  ``run_workload`` installs the workload on a cluster, runs the
+simulation for the requested duration plus a drain phase, and returns the
+collected metrics — this is the engine behind benchmarks E1, E2, E5, E7 and
+E8.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.common import OperationId
+from repro.core.operations import OperationDescriptor
+from repro.datatypes.base import Operator, SerialDataType
+from repro.sim.cluster import SimulatedCluster
+from repro.sim.metrics import LatencySummary, MetricsCollector
+
+#: An operator generator receives the per-client RNG and a running index and
+#: returns the operator to submit.
+OperatorFactory = Callable[[random.Random, int], Operator]
+
+
+def default_counter_mix(rng: random.Random, index: int) -> Operator:
+    """A simple update-heavy counter mix (2/3 increments, 1/3 reads)."""
+    return Operator("increment") if rng.random() < 2 / 3 else Operator("read")
+
+
+@dataclass
+class WorkloadSpec:
+    """Description of the client workload.
+
+    Parameters
+    ----------
+    operations_per_client:
+        How many operations each client submits.
+    mean_interarrival:
+        Mean time between submissions by one client.  With
+        ``poisson_arrivals`` the gaps are exponential; otherwise fixed.
+    strict_fraction:
+        Probability that a request is strict.
+    prev_policy:
+        ``"none"`` (empty ``prev`` sets), ``"last_own"`` (depend on the
+        client's previous operation — the session guarantee pattern of
+        Section 9.2's last remark), or ``"random_own"`` (depend on a random
+        earlier operation of the same client).
+    operator_factory:
+        Generates the data-type operator for each request.
+    """
+
+    operations_per_client: int = 50
+    mean_interarrival: float = 1.0
+    poisson_arrivals: bool = False
+    strict_fraction: float = 0.0
+    prev_policy: str = "none"
+    operator_factory: OperatorFactory = default_counter_mix
+
+    def __post_init__(self) -> None:
+        if self.prev_policy not in ("none", "last_own", "random_own"):
+            raise ValueError(f"unknown prev policy {self.prev_policy!r}")
+        if not 0.0 <= self.strict_fraction <= 1.0:
+            raise ValueError("strict_fraction must be within [0, 1]")
+        if self.mean_interarrival <= 0:
+            raise ValueError("mean_interarrival must be positive")
+
+
+class ClientWorkload:
+    """Submission schedule for a single client."""
+
+    def __init__(self, client_id: str, spec: WorkloadSpec, seed: int) -> None:
+        self.client_id = client_id
+        self.spec = spec
+        self.rng = random.Random(seed)
+        self._own_history: List[OperationId] = []
+
+    def _next_gap(self) -> float:
+        if self.spec.poisson_arrivals:
+            return self.rng.expovariate(1.0 / self.spec.mean_interarrival)
+        return self.spec.mean_interarrival
+
+    def _prev_for(self) -> Tuple[OperationId, ...]:
+        if self.spec.prev_policy == "none" or not self._own_history:
+            return ()
+        if self.spec.prev_policy == "last_own":
+            return (self._own_history[-1],)
+        return (self.rng.choice(self._own_history),)
+
+    def install(self, cluster: SimulatedCluster, start_time: float = 0.0) -> List[OperationDescriptor]:
+        """Schedule every submission of this client on *cluster*.
+
+        Returns the operation descriptors in submission order.
+        """
+        submitted: List[OperationDescriptor] = []
+        when = start_time
+        for index in range(self.spec.operations_per_client):
+            when += self._next_gap()
+            operator = self.spec.operator_factory(self.rng, index)
+            strict = self.rng.random() < self.spec.strict_fraction
+            prev = self._prev_for()
+            operation = cluster.submit(
+                self.client_id, operator, prev=prev, strict=strict, at=when
+            )
+            self._own_history.append(operation.id)
+            submitted.append(operation)
+        return submitted
+
+
+@dataclass
+class WorkloadResult:
+    """Everything a benchmark needs from one simulated run."""
+
+    cluster: SimulatedCluster
+    metrics: MetricsCollector
+    duration: float
+    submitted: int
+
+    @property
+    def throughput(self) -> float:
+        """Completed operations per unit time over the submission window."""
+        return self.metrics.completed / self.duration if self.duration > 0 else 0.0
+
+    @property
+    def mean_latency(self) -> float:
+        return self.metrics.latency_summary().mean
+
+    def latency_summary(self, category: Optional[str] = None) -> LatencySummary:
+        return self.metrics.latency_summary(category)
+
+
+def run_workload(
+    cluster: SimulatedCluster,
+    spec: WorkloadSpec,
+    seed: int = 0,
+    drain_time: Optional[float] = None,
+) -> WorkloadResult:
+    """Install *spec* on every client of *cluster*, run to completion, and
+    return the collected metrics.
+
+    ``drain_time`` bounds the extra time allowed after the last submission for
+    outstanding (typically strict) operations to complete; by default it is
+    generous enough for several gossip rounds.
+    """
+    cluster.start()
+    submitted = 0
+    for index, client in enumerate(cluster.client_ids):
+        workload = ClientWorkload(client, spec, seed=seed * 1009 + index)
+        submitted += len(workload.install(cluster, start_time=cluster.now))
+
+    submission_window = spec.operations_per_client * spec.mean_interarrival
+    if drain_time is None:
+        drain_time = 10 * (cluster.params.gossip_period + cluster.params.dg) + 10 * cluster.params.df
+    cluster.run(submission_window)
+    cluster.run_until_idle(max_time=drain_time)
+    duration = max(cluster.metrics.finished_at - cluster.metrics.started_at, submission_window)
+    return WorkloadResult(
+        cluster=cluster,
+        metrics=cluster.metrics,
+        duration=duration,
+        submitted=submitted,
+    )

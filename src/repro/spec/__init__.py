@@ -1,0 +1,37 @@
+"""The ESDS specification automata (Sections 4 and 5 of the paper).
+
+* :mod:`repro.spec.users` — the well-formed client automaton ``Users`` and its
+  commutativity-restricted variant ``SafeUsers`` (Section 10.3);
+* :mod:`repro.spec.esds1` — specification automaton **ESDS-I** (Fig. 2);
+* :mod:`repro.spec.esds2` — specification automaton **ESDS-II** (Fig. 3);
+* :mod:`repro.spec.guarantees` — executable renderings of Theorems 5.7 and
+  5.8 and Corollary 5.9 (existence of explaining total orders / the eventual
+  total order) used to check observed traces.
+
+An *eventually-serializable data service* is, by definition, any automaton
+that implements ESDS-I; the lazy-replication algorithm of
+:mod:`repro.algorithm` is shown (operationally, in
+:mod:`repro.verification.simulation_check`) to implement ESDS-II, which is
+equivalent to ESDS-I.
+"""
+
+from repro.spec.users import Users, SafeUsers
+from repro.spec.esds1 import EsdsSpecI
+from repro.spec.esds2 import EsdsSpecII
+from repro.spec.guarantees import (
+    TraceRecord,
+    check_eventual_total_order,
+    check_strict_responses_explained,
+    find_explaining_total_order,
+)
+
+__all__ = [
+    "Users",
+    "SafeUsers",
+    "EsdsSpecI",
+    "EsdsSpecII",
+    "TraceRecord",
+    "check_eventual_total_order",
+    "check_strict_responses_explained",
+    "find_explaining_total_order",
+]

@@ -1,0 +1,44 @@
+"""Specification automaton **ESDS-I** (Section 5.1, Fig. 2).
+
+ESDS-I is the simpler of the two equivalent specifications: an operation may
+be entered only once, and an operation may stabilize only when every
+preceding operation is already stable (no "gaps").
+"""
+
+from __future__ import annotations
+
+from repro.core.operations import OperationDescriptor
+from repro.core.orders import PartialOrder
+from repro.spec.base import EsdsSpecBase
+
+
+class EsdsSpecI(EsdsSpecBase):
+    """The ESDS-I automaton.  Any automaton implementing it is, by
+    definition, an eventually-serializable data service."""
+
+    name = "ESDS-I"
+
+    def _enter_enabled(self, x: OperationDescriptor, new_po: PartialOrder) -> bool:
+        if x not in self.wait:
+            return False
+        if x in self.ops:
+            return False
+        return self._enter_common_enabled(x, new_po)
+
+    def _stabilize_enabled(self, x: OperationDescriptor) -> bool:
+        if x not in self.ops:
+            return False
+        if x in self.stabilized:
+            return False
+        # x must be comparable (under po) with every entered operation...
+        for y in self.ops:
+            if y == x:
+                continue
+            if not self.po.comparable(y.id, x.id):
+                return False
+        # ...and every operation preceding it must already be stable.
+        stabilized_ids = {y.id for y in self.stabilized}
+        for y in self.ops:
+            if self.po.precedes(y.id, x.id) and y.id not in stabilized_ids:
+                return False
+        return True

@@ -1,0 +1,42 @@
+"""Specification automaton **ESDS-II** (Section 5.3, Fig. 3).
+
+ESDS-II is equivalent to ESDS-I but more nondeterministic: ``enter`` may be
+repeated for an operation already in ``ops`` (a repeated enter acts like
+``add_constraints``), ``stabilize`` may be repeated, and an operation may
+stabilize even when operations preceding it have not stabilized yet (leaving
+"gaps" that ESDS-I would have to fill first).  The extra nondeterminism makes
+it the convenient target of the forward simulation from the algorithm
+(Section 8); the simulation from ESDS-II back to ESDS-I (Fig. 4) closes the
+loop and is checked in :mod:`repro.verification.simulation_check`.
+"""
+
+from __future__ import annotations
+
+from repro.core.operations import OperationDescriptor
+from repro.core.orders import PartialOrder
+from repro.spec.base import EsdsSpecBase
+
+
+class EsdsSpecII(EsdsSpecBase):
+    """The ESDS-II automaton (Fig. 3)."""
+
+    name = "ESDS-II"
+
+    def _enter_enabled(self, x: OperationDescriptor, new_po: PartialOrder) -> bool:
+        if x not in self.wait:
+            return False
+        return self._enter_common_enabled(x, new_po)
+
+    def _stabilize_enabled(self, x: OperationDescriptor) -> bool:
+        if x not in self.ops:
+            return False
+        for y in self.ops:
+            if y == x:
+                continue
+            if not self.po.comparable(y.id, x.id):
+                return False
+        # po must totally order the prefix ops|_{<=po x}: preceding operations
+        # need not be *stable* (gaps are allowed), but their relative order
+        # must already be fixed so that x's value is determined.
+        prefix_ids = {y.id for y in self.ops if self.po.precedes(y.id, x.id)} | {x.id}
+        return self.po.totally_orders(prefix_ids)

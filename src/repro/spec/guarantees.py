@@ -1,0 +1,226 @@
+"""Executable renderings of the behavioural guarantees of Section 5.2.
+
+* **Theorem 5.7** — for every response event there is a total order of the
+  requested operations, consistent with the client-specified constraints,
+  that explains this response and the response of every *strict* operation
+  answered before this operation was requested.
+* **Theorem 5.8** — for a finite trace there is a single *eventual total
+  order* consistent with the client-specified constraints explaining every
+  strict response.
+* **Corollary 5.9** — if every request is strict, the service looks like an
+  atomic object serialized by the eventual total order.
+
+These guarantees quantify existentially over total orders, so checking them
+on an arbitrary trace requires search.  In practice the algorithm provides a
+*witness*: the order of system-wide minimum labels.  The functions below
+accept an optional witness; without one they fall back to bounded
+linear-extension search (suitable for the small traces used in tests).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.common import OperationId
+from repro.core.operations import OperationDescriptor, client_specified_constraints
+from repro.core.orders import PartialOrder, linear_extensions, val
+from repro.datatypes.base import SerialDataType
+
+
+@dataclass
+class TraceRecord:
+    """An external trace of the service: request and response events in order.
+
+    ``events`` is a list of ``("request", x)`` and ``("response", x, v)``
+    tuples in the order they occurred.  Helper constructors let the simulator
+    and the automata harness build records uniformly.
+    """
+
+    events: List[Tuple] = field(default_factory=list)
+
+    def record_request(self, operation: OperationDescriptor) -> None:
+        self.events.append(("request", operation))
+
+    def record_response(self, operation: OperationDescriptor, value: Any) -> None:
+        self.events.append(("response", operation, value))
+
+    # -- views ----------------------------------------------------------------
+
+    @property
+    def requests(self) -> List[OperationDescriptor]:
+        return [e[1] for e in self.events if e[0] == "request"]
+
+    @property
+    def responses(self) -> List[Tuple[OperationDescriptor, Any]]:
+        return [(e[1], e[2]) for e in self.events if e[0] == "response"]
+
+    def request_index(self, op_id: OperationId) -> Optional[int]:
+        for i, e in enumerate(self.events):
+            if e[0] == "request" and e[1].id == op_id:
+                return i
+        return None
+
+    def response_index(self, op_id: OperationId) -> Optional[int]:
+        for i, e in enumerate(self.events):
+            if e[0] == "response" and e[1].id == op_id:
+                return i
+        return None
+
+    def strict_responses_before(self, index: int) -> List[Tuple[OperationDescriptor, Any]]:
+        """Strict responses occurring strictly before event *index*."""
+        result = []
+        for e in self.events[:index]:
+            if e[0] == "response" and e[1].strict:
+                result.append((e[1], e[2]))
+        return result
+
+    def csc(self) -> Set[Tuple[OperationId, OperationId]]:
+        """Client-specified constraints of all requested operations."""
+        return client_specified_constraints(self.requests)
+
+
+def _value_under_order(
+    data_type: SerialDataType,
+    target: OperationDescriptor,
+    operations: Sequence[OperationDescriptor],
+    order_ids: Sequence[OperationId],
+) -> Any:
+    return val(data_type, target, operations, list(order_ids))
+
+
+def check_eventual_total_order(
+    data_type: SerialDataType,
+    trace: TraceRecord,
+    eventual_order: Sequence[OperationId],
+) -> bool:
+    """Theorem 5.8 with an explicit witness.
+
+    Checks that *eventual_order* (a total order on the identifiers of all
+    requested operations) is consistent with the client-specified constraints
+    and explains every strict response in *trace*.
+    """
+    requests = trace.requests
+    request_ids = {x.id for x in requests}
+    order = list(eventual_order)
+    if set(order) != request_ids:
+        return False
+    position = {op_id: i for i, op_id in enumerate(order)}
+    for before, after in trace.csc():
+        if before in position and after in position and position[before] >= position[after]:
+            return False
+    for x, value in trace.responses:
+        if not x.strict:
+            continue
+        if _value_under_order(data_type, x, requests, order) != value:
+            return False
+    return True
+
+
+def check_strict_responses_explained(
+    data_type: SerialDataType,
+    trace: TraceRecord,
+    eventual_order: Optional[Sequence[OperationId]] = None,
+    search_limit: int = 20000,
+) -> bool:
+    """Theorem 5.8: does *some* eventual total order explain all strict
+    responses?
+
+    With a witness this is :func:`check_eventual_total_order`; without one,
+    linear extensions of the client-specified constraints are enumerated (up
+    to *search_limit*) looking for an explaining order.
+    """
+    if eventual_order is not None:
+        return check_eventual_total_order(data_type, trace, eventual_order)
+
+    requests = trace.requests
+    strict_responses = [(x, v) for x, v in trace.responses if x.strict]
+    if not strict_responses:
+        return True
+    ids = [x.id for x in requests]
+    for extension in linear_extensions(trace.csc(), ids, limit=search_limit):
+        if all(
+            _value_under_order(data_type, x, requests, extension) == v
+            for x, v in strict_responses
+        ):
+            return True
+    return False
+
+
+def find_explaining_total_order(
+    data_type: SerialDataType,
+    trace: TraceRecord,
+    response: Tuple[OperationDescriptor, Any],
+    search_limit: int = 20000,
+) -> Optional[List[OperationId]]:
+    """Theorem 5.7 for a single response event.
+
+    Searches for a total order ``to(x)`` of all requested operations,
+    consistent with the client-specified constraints, explaining the given
+    ``(operation, value)`` response *and* the response of every strict
+    operation that was answered before this operation was requested.
+
+    Returns the explaining order, or ``None`` if none was found within the
+    search limit.
+    """
+    x, value = response
+    requests = trace.requests
+    request_event_index = trace.request_index(x.id)
+    if request_event_index is None:
+        return None
+    earlier_strict = trace.strict_responses_before(request_event_index)
+
+    ids = [y.id for y in requests]
+    for extension in linear_extensions(trace.csc(), ids, limit=search_limit):
+        if _value_under_order(data_type, x, requests, extension) != value:
+            continue
+        if all(
+            _value_under_order(data_type, y, requests, extension) == v
+            for y, v in earlier_strict
+        ):
+            return list(extension)
+    return None
+
+
+def check_all_responses_explained(
+    data_type: SerialDataType,
+    trace: TraceRecord,
+    search_limit: int = 20000,
+) -> bool:
+    """Apply Theorem 5.7 to every response in the trace (bounded search)."""
+    return all(
+        find_explaining_total_order(data_type, trace, response, search_limit) is not None
+        for response in trace.responses
+    )
+
+
+def check_atomicity_when_all_strict(
+    data_type: SerialDataType,
+    trace: TraceRecord,
+    eventual_order: Optional[Sequence[OperationId]] = None,
+    search_limit: int = 20000,
+) -> bool:
+    """Corollary 5.9: with all requests strict, a single total order must
+    explain every response."""
+    if any(not x.strict for x in trace.requests):
+        raise ValueError("corollary 5.9 applies only when every request is strict")
+    if eventual_order is not None:
+        requests = trace.requests
+        order = list(eventual_order)
+        position = {op_id: i for i, op_id in enumerate(order)}
+        for before, after in trace.csc():
+            if position.get(before, -1) >= position.get(after, len(order)):
+                return False
+        return all(
+            _value_under_order(data_type, x, requests, order) == v
+            for x, v in trace.responses
+        )
+    requests = trace.requests
+    ids = [x.id for x in requests]
+    for extension in linear_extensions(trace.csc(), ids, limit=search_limit):
+        if all(
+            _value_under_order(data_type, x, requests, extension) == v
+            for x, v in trace.responses
+        ):
+            return True
+    return False

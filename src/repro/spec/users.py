@@ -1,0 +1,171 @@
+"""The well-formed client automaton ``Users`` (Section 4, Fig. 1).
+
+``Users`` models *all* clients of the data service as a single automaton with
+shared state.  The shared state is only a specification device used to
+express the well-formedness assumptions:
+
+* operation identifiers are globally unique (Invariant 4.1);
+* a ``prev`` set only mentions previously requested operations, hence the
+  transitive closure of the client-specified constraints is a strict partial
+  order (Invariant 4.2).
+
+``SafeUsers`` (Section 10.3) additionally requires clients to explicitly
+order, via ``prev`` chains, every pair of requested operations whose
+operators do not commute; the ``Commute`` replica variant relies on this.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Dict, List, Optional, Set
+
+from repro.automata.automaton import Action, IOAutomaton, Signature
+from repro.common import OperationId, WellFormednessError
+from repro.core.operations import OperationDescriptor, client_specified_constraints
+from repro.core.orders import transitive_closure
+from repro.datatypes.base import SerialDataType
+
+#: Signature of an operation factory used to generate spontaneous requests
+#: during random exploration: receives the RNG and the set of operations
+#: requested so far, returns a new well-formed descriptor or ``None``.
+OperationFactory = Callable[[random.Random, Set[OperationDescriptor]], Optional[OperationDescriptor]]
+
+
+class Users(IOAutomaton):
+    """The well-formed clients automaton (Fig. 1).
+
+    Parameters
+    ----------
+    operation_factory:
+        Optional generator of new requests, used by
+        :meth:`candidate_actions` during random exploration.  Tests that
+        drive requests explicitly may omit it.
+    """
+
+    name = "Users"
+    signature = Signature(
+        inputs=frozenset({"response"}),
+        outputs=frozenset({"request"}),
+    )
+
+    def __init__(self, operation_factory: Optional[OperationFactory] = None) -> None:
+        self.requested: Set[OperationDescriptor] = set()
+        self.responded: Dict[OperationId, object] = {}
+        self._operation_factory = operation_factory
+
+    # -- well-formedness ------------------------------------------------------
+
+    def request_is_well_formed(self, x: OperationDescriptor) -> bool:
+        """The precondition of ``request(x)`` (Fig. 1)."""
+        requested_ids = {op.id for op in self.requested}
+        if x.id in requested_ids:
+            return False
+        if not x.prev <= requested_ids:
+            return False
+        return True
+
+    def assert_well_formed(self, x: OperationDescriptor) -> None:
+        """Raise :class:`WellFormednessError` if ``request(x)`` is disallowed."""
+        requested_ids = {op.id for op in self.requested}
+        if x.id in requested_ids:
+            raise WellFormednessError(f"operation identifier {x.id} reused")
+        missing = x.prev - requested_ids
+        if missing:
+            raise WellFormednessError(
+                f"prev set of {x.id} references unrequested operations: {sorted(map(str, missing))}"
+            )
+
+    # -- automaton interface --------------------------------------------------
+
+    def precondition(self, action: Action) -> bool:
+        if action.kind == "request":
+            return self.request_is_well_formed(action["operation"])
+        return True
+
+    def apply(self, action: Action) -> None:
+        if action.kind == "request":
+            self.requested.add(action["operation"])
+        elif action.kind == "response":
+            # Effect: none in the paper; we additionally record the last
+            # response per operation for the convenience of trace checks.
+            self.responded[action["operation"].id] = action["value"]
+        else:  # pragma: no cover - guarded by signature check in step()
+            raise ValueError(f"unexpected action {action.kind!r}")
+
+    def candidate_actions(self, rng: random.Random) -> List[Action]:
+        if self._operation_factory is None:
+            return []
+        operation = self._operation_factory(rng, set(self.requested))
+        if operation is None or not self.request_is_well_formed(operation):
+            return []
+        return [Action("request", operation=operation)]
+
+    # -- derived state (Invariants 4.1, 4.2) ----------------------------------
+
+    def client_specified_constraints(self) -> Set:
+        """``CSC(requested)`` on identifiers."""
+        return client_specified_constraints(self.requested)
+
+    def check_invariants(self) -> None:
+        """Invariants 4.1 and 4.2: unique identifiers; CSC is a strict order."""
+        ids = [x.id for x in self.requested]
+        if len(ids) != len(set(ids)):
+            raise WellFormednessError("duplicate operation identifiers in requested")
+        closure = transitive_closure(self.client_specified_constraints())
+        if any(a == b for a, b in closure):
+            raise WellFormednessError("client-specified constraints contain a cycle")
+
+
+class SafeUsers(Users):
+    """Clients restricted so that non-commuting operators are always ordered.
+
+    Section 10.3 adds a clause to the precondition of ``request(x)``: for
+    every previously requested operation ``y`` whose operator does not
+    commute with ``x.op``, ``y`` must precede ``x`` in the transitive closure
+    of the client-specified constraints after adding ``x``.  This is what the
+    ``Commute`` replica variant needs to keep replicas convergent while
+    computing responses from a single current state.
+    """
+
+    name = "SafeUsers"
+
+    def __init__(
+        self,
+        data_type: SerialDataType,
+        operation_factory: Optional[OperationFactory] = None,
+        require_independence: bool = False,
+    ) -> None:
+        super().__init__(operation_factory)
+        self.data_type = data_type
+        #: When true, require ordering of every non-*independent* pair (the
+        #: stronger discipline of Lemma 10.7), not just non-commuting pairs.
+        self.require_independence = require_independence
+
+    def request_is_well_formed(self, x: OperationDescriptor) -> bool:
+        if not super().request_is_well_formed(x):
+            return False
+        return not self._unordered_conflicts(x)
+
+    def assert_well_formed(self, x: OperationDescriptor) -> None:
+        super().assert_well_formed(x)
+        conflicts = self._unordered_conflicts(x)
+        if conflicts:
+            raise WellFormednessError(
+                f"operation {x.id} conflicts with unordered prior operations: "
+                f"{sorted(map(str, conflicts))}"
+            )
+
+    def _unordered_conflicts(self, x: OperationDescriptor) -> Set[OperationId]:
+        """Previously requested operations that conflict with ``x`` but would
+        not be ordered before it by the client-specified constraints."""
+        constraints = client_specified_constraints(self.requested | {x})
+        closure = transitive_closure(constraints)
+        conflicts: Set[OperationId] = set()
+        for y in self.requested:
+            if self.require_independence:
+                conflicting = not self.data_type.independent(y.op, x.op)
+            else:
+                conflicting = not self.data_type.commute(y.op, x.op)
+            if conflicting and (y.id, x.id) not in closure and (x.id, y.id) not in closure:
+                conflicts.add(y.id)
+        return conflicts

@@ -1,0 +1,381 @@
+"""Runtime checks of the paper's invariants.
+
+``AlgorithmInvariantChecker`` checks the state of an
+:class:`~repro.algorithm.system.AlgorithmSystem` against the invariants of
+Sections 4, 7 and 8 (and the Section 10 invariants for the memoizing
+replica).  ``SpecInvariantChecker`` checks an ESDS-I/II specification
+automaton against the invariants of Section 5.2.
+
+Each invariant is a separate method named after the paper's numbering, so a
+failing test points directly at the corresponding claim; ``check_all`` runs
+every applicable check and raises :class:`~repro.common.InvariantViolation`
+with the invariant name on failure.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Set, Tuple
+
+from repro.algorithm.labels import label_sort_key
+from repro.algorithm.memoized import MemoizedReplicaCore
+from repro.algorithm.replica import ReplicaCore
+from repro.algorithm.system import AlgorithmSystem
+from repro.common import INFINITY, InvariantViolation, OperationId
+from repro.core.operations import client_specified_constraints
+from repro.core.orders import transitive_closure
+from repro.spec.base import EsdsSpecBase
+
+
+def _fail(name: str, detail: str) -> None:
+    raise InvariantViolation(f"{name}: {detail}")
+
+
+class AlgorithmInvariantChecker:
+    """Checks the Section 7/8 invariants on the full algorithm system."""
+
+    def __init__(self, system: AlgorithmSystem) -> None:
+        self.system = system
+
+    # -- entry points ----------------------------------------------------------
+
+    def check_all(self) -> None:
+        """Run every invariant check; raise on the first violation."""
+        self.invariant_4_1_unique_identifiers()
+        self.invariant_4_2_csc_is_strict_partial_order()
+        self.invariant_7_1_local_knowledge_dominates()
+        self.invariant_7_2_stable_is_done_everywhere()
+        self.invariant_7_3_gossip_not_ahead_of_sender()
+        self.invariant_7_4_remote_knowledge_not_ahead()
+        self.invariant_7_5_labels_exactly_for_done()
+        self.invariant_7_6_everything_was_requested()
+        self.invariant_7_7_replies_are_done()
+        self.invariant_7_8_answered_requests_are_done()
+        self.invariant_7_10_prev_labels_not_larger()
+        self.invariant_7_11_local_constraints_acyclic()
+        self.invariant_7_12_system_constraints_acyclic()
+        self.invariant_7_13_own_labels_imply_done()
+        self.invariant_7_15_labels_total_on_done()
+        self.invariant_7_17_own_label_is_minimum_seen()
+        self.invariant_7_19_stable_prefix_has_min_labels()
+        self.invariant_7_21_stable_order_matches_minlabel()
+        self.invariant_8_1_po_is_partial_order()
+        self.invariant_8_3_stable_ordered_by_minlabel()
+        self.invariant_10_memoized_replicas()
+
+    def __call__(self, *_args, **_kwargs) -> None:
+        """Allow use as a step hook."""
+        self.check_all()
+
+    # -- Section 4 -------------------------------------------------------------
+
+    def invariant_4_1_unique_identifiers(self) -> None:
+        requested = self.system.users.requested
+        ids = [x.id for x in requested]
+        if len(ids) != len(set(ids)):
+            _fail("Invariant 4.1", "duplicate operation identifiers in requested")
+
+    def invariant_4_2_csc_is_strict_partial_order(self) -> None:
+        closure = transitive_closure(
+            client_specified_constraints(self.system.users.requested)
+        )
+        if any(a == b for a, b in closure):
+            _fail("Invariant 4.2", "client-specified constraints contain a cycle")
+
+    # -- Section 7: basic invariants -------------------------------------------
+
+    def invariant_7_1_local_knowledge_dominates(self) -> None:
+        for r, replica in self.system.replicas.items():
+            union_done = set().union(*replica.done.values())
+            union_stable = set().union(*replica.stable.values())
+            if replica.done_here() != union_done:
+                _fail("Invariant 7.1", f"done_{r}[{r}] != U_i done_{r}[i]")
+            if replica.stable_here() != union_stable:
+                _fail("Invariant 7.1", f"stable_{r}[{r}] != U_i stable_{r}[i]")
+
+    def invariant_7_2_stable_is_done_everywhere(self) -> None:
+        for r, replica in self.system.replicas.items():
+            intersection = set.intersection(*(replica.done[i] for i in replica.replica_ids))
+            if replica.stable_here() != intersection:
+                _fail("Invariant 7.2", f"stable_{r}[{r}] != ⋂_i done_{r}[i]")
+
+    def invariant_7_3_gossip_not_ahead_of_sender(self) -> None:
+        for (src, dst), channel in self.system.gossip_channels.items():
+            sender = self.system.replicas[src]
+            for message in channel.contents():
+                if not message.received <= sender.rcvd:
+                    _fail("Invariant 7.3", f"gossip {src}->{dst}: R not within rcvd_{src}")
+                if not message.done <= sender.done_here():
+                    _fail("Invariant 7.3", f"gossip {src}->{dst}: D not within done_{src}")
+                if not message.stable <= sender.stable_here():
+                    _fail("Invariant 7.3", f"gossip {src}->{dst}: S not within stable_{src}")
+                if not message.stable <= message.done:
+                    _fail("Invariant 7.3", f"gossip {src}->{dst}: S not within D")
+                for op_id, label in message.labels.items():
+                    if label_sort_key(sender.label_of(op_id)) > label_sort_key(label):
+                        _fail(
+                            "Invariant 7.3",
+                            f"gossip {src}->{dst}: message label for {op_id} below sender's",
+                        )
+
+    def invariant_7_4_remote_knowledge_not_ahead(self) -> None:
+        for r, replica in self.system.replicas.items():
+            for i in replica.replica_ids:
+                actual = self.system.replicas[i]
+                if not replica.done[i] <= actual.done_here():
+                    _fail("Invariant 7.4", f"done_{r}[{i}] not within done_{i}[{i}]")
+                if not replica.stable[i] <= actual.stable_here():
+                    _fail("Invariant 7.4", f"stable_{r}[{i}] not within stable_{i}[{i}]")
+
+    def invariant_7_5_labels_exactly_for_done(self) -> None:
+        for r, replica in self.system.replicas.items():
+            done_ids = {x.id for x in replica.done_here()}
+            labelled_ids = set(replica.labels)
+            if done_ids != labelled_ids:
+                _fail(
+                    "Invariant 7.5",
+                    f"replica {r}: labelled ids {len(labelled_ids)} != done ids {len(done_ids)}",
+                )
+        for (src, dst), channel in self.system.gossip_channels.items():
+            for message in channel.contents():
+                if {x.id for x in message.done} != set(message.labels):
+                    _fail("Invariant 7.5", f"gossip {src}->{dst}: D.id != labelled ids")
+
+    def invariant_7_6_everything_was_requested(self) -> None:
+        requested = self.system.users.requested
+        in_flight: Set = set()
+        for channel in self.system.request_channels.values():
+            in_flight |= {m.operation for m in channel.contents()}
+        everything: Set = set()
+        for frontend in self.system.frontends.values():
+            everything |= frontend.wait
+        everything |= in_flight
+        for replica in self.system.replicas.values():
+            everything |= replica.rcvd
+        everything |= self.system.ops()
+        if not everything <= requested:
+            _fail("Invariant 7.6", "operation present in the system but never requested")
+
+    def invariant_7_7_replies_are_done(self) -> None:
+        ops = self.system.ops()
+        for client, frontend in self.system.frontends.items():
+            answered = {x for (x, _v) in frontend.rept}
+            answered |= {x for (x, _v) in self.system.potential_rept(client)}
+            if not answered <= ops:
+                _fail("Invariant 7.7", f"client {client}: reply for an operation not done anywhere")
+
+    def invariant_7_8_answered_requests_are_done(self) -> None:
+        waiting: Set = set()
+        for frontend in self.system.frontends.values():
+            waiting |= frontend.wait
+        finished = self.system.users.requested - waiting
+        if not finished <= self.system.ops():
+            _fail("Invariant 7.8", "a request left wait without being done at a replica")
+
+    # -- Section 7: constraint invariants --------------------------------------
+
+    def invariant_7_10_prev_labels_not_larger(self) -> None:
+        ops = self.system.ops()
+        csc = client_specified_constraints(ops)
+        for r, replica in self.system.replicas.items():
+            for before, after in csc:
+                if label_sort_key(replica.label_of(before)) > label_sort_key(replica.label_of(after)):
+                    _fail(
+                        "Invariant 7.10",
+                        f"replica {r}: label({before}) > label({after}) despite prev constraint",
+                    )
+        for (src, dst), channel in self.system.gossip_channels.items():
+            for message in channel.contents():
+                for before, after in csc:
+                    if label_sort_key(message.label_of(before)) > label_sort_key(message.label_of(after)):
+                        _fail(
+                            "Invariant 7.10",
+                            f"gossip {src}->{dst}: L({before}) > L({after}) despite prev constraint",
+                        )
+
+    def invariant_7_11_local_constraints_acyclic(self) -> None:
+        ops = self.system.ops()
+        csc = client_specified_constraints(ops)
+        for r in self.system.replica_ids:
+            closure = transitive_closure(csc | self.system.local_constraints(r))
+            if any(a == b for a, b in closure):
+                _fail("Invariant 7.11", f"TC(CSC(ops) u lc_{r}) has a cycle")
+
+    def invariant_7_12_system_constraints_acyclic(self) -> None:
+        ops = self.system.ops()
+        csc = client_specified_constraints(ops)
+        closure = transitive_closure(csc | self.system.system_constraints())
+        if any(a == b for a, b in closure):
+            _fail("Invariant 7.12", "TC(CSC(ops) u sc) has a cycle")
+
+    def invariant_7_13_own_labels_imply_done(self) -> None:
+        ops = self.system.ops()
+        for r, replica in self.system.replicas.items():
+            done_here = replica.done_here()
+            for x in ops:
+                for other in self.system.replicas.values():
+                    label = other.label_of(x.id)
+                    if label is not INFINITY and label.replica == r and x not in done_here:
+                        _fail(
+                            "Invariant 7.13",
+                            f"operation {x.id} labelled from L_{r} but not done at {r}",
+                        )
+
+    def invariant_7_15_labels_total_on_done(self) -> None:
+        for r, replica in self.system.replicas.items():
+            labels = [replica.label_of(x.id) for x in replica.done_here()]
+            keys = [label_sort_key(l) for l in labels]
+            if len(keys) != len(set(keys)):
+                _fail("Invariant 7.15", f"replica {r}: two done operations share a label")
+            if any(l is INFINITY for l in labels):
+                _fail("Invariant 7.15", f"replica {r}: a done operation has no label")
+
+    def invariant_7_17_own_label_is_minimum_seen(self) -> None:
+        for r, replica in self.system.replicas.items():
+            for other in self.system.replicas.values():
+                for op_id, label in other.labels.items():
+                    if label.replica == r:
+                        if label_sort_key(replica.label_of(op_id)) > label_sort_key(label):
+                            _fail(
+                                "Invariant 7.17",
+                                f"replica {r} has a larger label for {op_id} than its own label "
+                                f"held elsewhere",
+                            )
+            for (_src, _dst), channel in self.system.gossip_channels.items():
+                for message in channel.contents():
+                    for op_id, label in message.labels.items():
+                        if label.replica == r:
+                            if label_sort_key(replica.label_of(op_id)) > label_sort_key(label):
+                                _fail(
+                                    "Invariant 7.17",
+                                    f"replica {r} has a larger label for {op_id} than a gossiped "
+                                    f"label from L_{r}",
+                                )
+
+    def invariant_7_19_stable_prefix_has_min_labels(self) -> None:
+        for r, replica in self.system.replicas.items():
+            for stable_op in replica.stable_here():
+                stable_min = label_sort_key(self.system.minlabel(stable_op.id))
+                for x in self.system.ops():
+                    if label_sort_key(self.system.minlabel(x.id)) <= stable_min:
+                        if label_sort_key(replica.label_of(x.id)) != label_sort_key(
+                            self.system.minlabel(x.id)
+                        ):
+                            _fail(
+                                "Invariant 7.19",
+                                f"replica {r} does not hold the minimum label for {x.id} although "
+                                f"{stable_op.id} is stable with a larger minimum label",
+                            )
+
+    def invariant_7_21_stable_order_matches_minlabel(self) -> None:
+        everywhere_stable = self.system.stable_everywhere()
+        ops = self.system.ops()
+        constraints = transitive_closure(
+            client_specified_constraints(ops) | self.system.system_constraints()
+        )
+        for x in everywhere_stable:
+            for y in ops:
+                if x.id == y.id:
+                    continue
+                expected = label_sort_key(self.system.minlabel(x.id)) < label_sort_key(
+                    self.system.minlabel(y.id)
+                )
+                actual = (x.id, y.id) in constraints
+                if expected != actual:
+                    _fail(
+                        "Invariant 7.21",
+                        f"ordering of stable {x.id} vs {y.id} disagrees with minimum labels",
+                    )
+
+    # -- Section 8 --------------------------------------------------------------
+
+    def invariant_8_1_po_is_partial_order(self) -> None:
+        try:
+            po = self.system.partial_order()
+        except ValueError as exc:
+            _fail("Invariant 8.1", f"derived po is cyclic: {exc}")
+            return
+        ops_ids = {x.id for x in self.system.ops()}
+        if not po.span() <= ops_ids:
+            _fail("Invariant 8.1", "derived po mentions identifiers outside ops")
+
+    def invariant_8_3_stable_ordered_by_minlabel(self) -> None:
+        po = self.system.partial_order()
+        everywhere_stable = self.system.stable_everywhere()
+        for x in everywhere_stable:
+            for y in self.system.ops():
+                if x.id == y.id:
+                    continue
+                by_label = label_sort_key(self.system.minlabel(x.id)) < label_sort_key(
+                    self.system.minlabel(y.id)
+                )
+                if by_label != po.precedes(x.id, y.id):
+                    _fail(
+                        "Invariant 8.3",
+                        f"po ordering of stable {x.id} vs {y.id} disagrees with minimum labels",
+                    )
+
+    # -- Section 10 --------------------------------------------------------------
+
+    def invariant_10_memoized_replicas(self) -> None:
+        """Invariants 10.3 and 10.4 for memoizing replicas (no-op otherwise)."""
+        for r, replica in self.system.replicas.items():
+            if not isinstance(replica, MemoizedReplicaCore):
+                continue
+            solid = replica.solid_operations()
+            if not replica.memoized <= solid:
+                _fail("Invariant 10.3", f"replica {r}: memoized operation is not solid")
+            # Invariant 10.4: ms equals the outcome of the memoized prefix in
+            # label order, and mv holds the label-order values.
+            state = replica.data_type.initial_state()
+            ordered = sorted(
+                replica.memoized, key=lambda x: label_sort_key(replica.label_of(x.id))
+            )
+            for x in ordered:
+                state, value = replica.data_type.apply(state, x.op)
+                if replica.memo_values.get(x) != value:
+                    _fail("Invariant 10.4", f"replica {r}: memoized value for {x.id} is wrong")
+            if state != replica.memo_state:
+                _fail("Invariant 10.4", f"replica {r}: memoized state diverges from replay")
+
+
+class SpecInvariantChecker:
+    """Checks the Section 5.2 invariants on an ESDS-I / ESDS-II automaton."""
+
+    def __init__(self, spec: EsdsSpecBase) -> None:
+        self.spec = spec
+
+    def check_all(self) -> None:
+        self.invariant_5_2_po_spans_ops_and_contains_csc()
+        self.invariant_5_3_stable_comparable_to_all()
+        self.invariant_5_4_stabilized_totally_ordered()
+        self.invariant_5_6_stable_values_unique()
+
+    def __call__(self, *_args, **_kwargs) -> None:
+        self.check_all()
+
+    def invariant_5_2_po_spans_ops_and_contains_csc(self) -> None:
+        ops_ids = self.spec.ops_ids
+        if not self.spec.po.span() <= ops_ids:
+            _fail("Invariant 5.2", "po mentions identifiers outside ops")
+        csc = client_specified_constraints(self.spec.ops)
+        if not csc <= set(self.spec.po.pairs):
+            _fail("Invariant 5.2", "po does not contain the client-specified constraints")
+
+    def invariant_5_3_stable_comparable_to_all(self) -> None:
+        for x in self.spec.stabilized:
+            for y in self.spec.ops:
+                if not self.spec.po.comparable(x.id, y.id):
+                    _fail("Invariant 5.3", f"stable {x.id} incomparable with {y.id}")
+
+    def invariant_5_4_stabilized_totally_ordered(self) -> None:
+        ids = [x.id for x in self.spec.stabilized]
+        if not self.spec.po.totally_orders(ids):
+            _fail("Invariant 5.4", "stabilized operations are not totally ordered by po")
+
+    def invariant_5_6_stable_values_unique(self) -> None:
+        from repro.core.orders import valset
+
+        for x in self.spec.stabilized:
+            values = valset(self.spec.data_type, x, self.spec.ops, self.spec.po, limit=64)
+            if len(values) != 1:
+                _fail("Invariant 5.6", f"stable operation {x.id} has non-unique value set {values}")

@@ -1,0 +1,101 @@
+"""Tests for the directory service and object repository applications (§11.2)."""
+
+import pytest
+
+from repro.apps.directory import DirectoryService
+from repro.apps.repository import ObjectRepository
+from repro.datatypes import DirectoryType
+from repro.sim.cluster import SimulatedCluster, SimulationParams
+
+PARAMS = SimulationParams(df=1.0, dg=1.0, gossip_period=2.0)
+
+
+@pytest.fixture
+def cluster():
+    return SimulatedCluster(DirectoryType(), num_replicas=3,
+                            client_ids=["admin", "user", "resolver"],
+                            params=PARAMS, seed=1)
+
+
+class TestDirectoryService:
+    def test_bind_and_lookup(self, cluster):
+        admin = DirectoryService(cluster, "admin")
+        assert admin.bind("www.example.org", {"ip": "10.0.0.7", "ttl": 300}) is True
+        attrs = admin.lookup("www.example.org")
+        assert attrs == {"ip": "10.0.0.7", "ttl": 300}
+
+    def test_lookup_missing_name(self, cluster):
+        user = DirectoryService(cluster, "user")
+        assert user.lookup("nope.example.org") is None
+
+    def test_attribute_update_ordered_after_creation(self, cluster):
+        admin = DirectoryService(cluster, "admin")
+        admin.bind("mail.example.org")
+        assert admin.set_attribute("mail.example.org", "ip", "10.0.0.9") is True
+        assert admin.get_attribute("mail.example.org", "ip") == "10.0.0.9"
+
+    def test_consistent_lookup_by_other_client(self, cluster):
+        admin = DirectoryService(cluster, "admin")
+        admin.bind("db.example.org", {"ip": "10.1.1.1"})
+        resolver = DirectoryService(cluster, "resolver")
+        attrs = resolver.lookup("db.example.org", consistent=True)
+        assert attrs == {"ip": "10.1.1.1"}
+
+    def test_rebinding_existing_name_reports_false(self, cluster):
+        admin = DirectoryService(cluster, "admin")
+        admin.bind("dup.example.org", expedient=True)
+        other = DirectoryService(cluster, "user")
+        assert other.bind("dup.example.org", expedient=True) is False
+
+    def test_unbind(self, cluster):
+        admin = DirectoryService(cluster, "admin")
+        admin.bind("gone.example.org")
+        assert admin.unbind("gone.example.org", expedient=True) is True
+        assert admin.lookup("gone.example.org", consistent=True) is None
+
+    def test_list_names(self, cluster):
+        admin = DirectoryService(cluster, "admin")
+        admin.bind("a.example.org")
+        admin.bind("b.example.org")
+        names = admin.list_names(consistent=True)
+        assert set(names) >= {"a.example.org", "b.example.org"}
+
+
+class TestObjectRepository:
+    def test_register_type_and_interface(self, cluster):
+        repo = ObjectRepository(cluster, "admin")
+        assert repo.register_type("Printer", {"print": "(doc) -> status"}) is True
+        interface = repo.interface_of("Printer", consistent=True)
+        assert interface == {"print": "(doc) -> status"}
+
+    def test_add_method(self, cluster):
+        repo = ObjectRepository(cluster, "admin")
+        repo.register_type("Printer", {"print": "(doc) -> status"})
+        repo.add_method("Printer", "status", "() -> state")
+        interface = repo.interface_of("Printer")
+        assert set(interface) == {"print", "status"}
+
+    def test_unknown_type_is_none(self, cluster):
+        repo = ObjectRepository(cluster, "user")
+        assert repo.interface_of("Ghost") is None
+        assert repo.dispatch("Ghost", "impl") is None
+
+    def test_register_implementation_and_dispatch(self, cluster):
+        repo = ObjectRepository(cluster, "admin")
+        repo.register_type("Printer", {"print": "(doc) -> status"})
+        repo.register_implementation("Printer", "laserjet", "host-a:9001", version="2")
+        assert repo.dispatch("Printer", "laserjet", consistent=True) == "host-a:9001"
+
+    def test_implementations_listing(self, cluster):
+        repo = ObjectRepository(cluster, "admin")
+        repo.register_type("Store", {"get": "(k) -> v"})
+        repo.register_implementation("Store", "memory", "host-a:1")
+        repo.register_implementation("Store", "disk", "host-b:2")
+        assert set(repo.implementations_of("Store", consistent=True)) == {"memory", "disk"}
+
+    def test_cross_client_visibility(self, cluster):
+        admin = ObjectRepository(cluster, "admin")
+        admin.register_type("Queue", {"push": "(x) -> ()"})
+        admin.register_implementation("Queue", "fifo", "host-q:5")
+        reader = ObjectRepository(cluster, "resolver")
+        assert reader.dispatch("Queue", "fifo", consistent=True) == "host-q:5"

@@ -1,0 +1,235 @@
+"""Tests for the I/O automaton framework (Section 3)."""
+
+import random
+
+import pytest
+
+from repro.automata import (
+    Action,
+    Composition,
+    ForwardSimulationChecker,
+    IOAutomaton,
+    RandomScheduler,
+    Signature,
+    hide,
+)
+from repro.automata.automaton import check_compatible
+from repro.common import SimulationRelationError, SpecificationError
+
+
+class Producer(IOAutomaton):
+    """Emits ``tick`` outputs up to a configured limit."""
+
+    def __init__(self, limit=3):
+        self.name = "producer"
+        self.signature = Signature(outputs=frozenset({"tick"}))
+        self.limit = limit
+        self.sent = 0
+
+    def precondition(self, action):
+        return self.sent < self.limit
+
+    def apply(self, action):
+        if action.kind == "tick":
+            self.sent += 1
+
+    def candidate_actions(self, rng):
+        return [Action("tick", count=self.sent)] if self.sent < self.limit else []
+
+
+class Consumer(IOAutomaton):
+    """Counts ``tick`` inputs."""
+
+    def __init__(self):
+        self.name = "consumer"
+        self.signature = Signature(inputs=frozenset({"tick"}))
+        self.received = 0
+
+    def apply(self, action):
+        if action.kind == "tick":
+            self.received += 1
+
+
+class TestSignature:
+    def test_disjointness_enforced(self):
+        with pytest.raises(ValueError):
+            Signature(inputs=frozenset({"a"}), outputs=frozenset({"a"}))
+
+    def test_classify(self):
+        sig = Signature(inputs=frozenset({"i"}), outputs=frozenset({"o"}),
+                        internals=frozenset({"n"}))
+        assert sig.classify("i") == "input"
+        assert sig.classify("o") == "output"
+        assert sig.classify("n") == "internal"
+        with pytest.raises(KeyError):
+            sig.classify("missing")
+
+    def test_external_and_all(self):
+        sig = Signature(inputs=frozenset({"i"}), outputs=frozenset({"o"}),
+                        internals=frozenset({"n"}))
+        assert sig.external == {"i", "o"}
+        assert sig.all_kinds == {"i", "o", "n"}
+
+
+class TestAction:
+    def test_equality_and_access(self):
+        a = Action("tick", count=1)
+        assert a == Action("tick", count=1)
+        assert a != Action("tick", count=2)
+        assert a["count"] == 1
+        assert a.get("missing", 5) == 5
+
+
+class TestAutomatonStep:
+    def test_step_checks_precondition(self):
+        producer = Producer(limit=0)
+        with pytest.raises(SpecificationError):
+            producer.step(Action("tick"))
+
+    def test_step_rejects_unknown_kind(self):
+        with pytest.raises(SpecificationError):
+            Producer().step(Action("unknown"))
+
+    def test_inputs_always_enabled(self):
+        consumer = Consumer()
+        consumer.step(Action("tick"))
+        assert consumer.received == 1
+
+
+class TestComposition:
+    def test_shared_action_executes_in_both(self):
+        producer, consumer = Producer(), Consumer()
+        system = Composition([producer, consumer], name="pc")
+        system.step(Action("tick", count=0))
+        assert producer.sent == 1
+        assert consumer.received == 1
+
+    def test_signature_classification(self):
+        producer, consumer = Producer(), Consumer()
+        system = Composition([producer, consumer])
+        assert "tick" in system.signature.outputs
+        assert "tick" not in system.signature.inputs
+
+    def test_incompatible_outputs_rejected(self):
+        with pytest.raises(ValueError):
+            Composition([Producer(), Producer()])
+
+    def test_check_compatible_detects_shared_internal(self):
+        class Internal(IOAutomaton):
+            def __init__(self, name):
+                self.name = name
+                self.signature = Signature(internals=frozenset({"step"}))
+
+            def apply(self, action):
+                pass
+
+        with pytest.raises(ValueError):
+            check_compatible([Internal("a"), Internal("b")])
+
+    def test_hiding_moves_outputs_to_internal(self):
+        system = Composition([Producer(), Consumer()])
+        hide(system, {"tick"})
+        assert "tick" in system.signature.internals
+        assert "tick" not in system.signature.outputs
+
+    def test_hiding_unknown_kind_rejected(self):
+        system = Composition([Producer(), Consumer()])
+        with pytest.raises(ValueError):
+            hide(system, {"nope"})
+
+    def test_component_named(self):
+        producer = Producer()
+        system = Composition([producer, Consumer()])
+        assert system.component_named("producer") is producer
+        with pytest.raises(KeyError):
+            system.component_named("missing")
+
+
+class TestRandomScheduler:
+    def test_runs_until_quiescent(self):
+        producer, consumer = Producer(limit=5), Consumer()
+        system = Composition([producer, consumer])
+        scheduler = RandomScheduler(system, seed=1)
+        execution = scheduler.run(steps=50)
+        assert producer.sent == 5
+        assert consumer.received == 5
+        assert len(execution) == 5
+
+    def test_trace_filters_external_kinds(self):
+        producer, consumer = Producer(limit=2), Consumer()
+        system = Composition([producer, consumer])
+        scheduler = RandomScheduler(system, seed=1)
+        scheduler.run(steps=10)
+        trace = scheduler.execution.trace({"tick"})
+        assert len(trace) == 2
+
+    def test_invariant_hook_called(self):
+        calls = []
+        producer, consumer = Producer(limit=3), Consumer()
+        system = Composition([producer, consumer])
+        scheduler = RandomScheduler(system, seed=1, invariant=lambda a: calls.append(1))
+        scheduler.run(steps=10)
+        assert len(calls) == 3
+
+    def test_inject(self):
+        consumer = Consumer()
+        scheduler = RandomScheduler(consumer, seed=0)
+        scheduler.inject(Action("tick"))
+        assert consumer.received == 1
+
+
+class TestForwardSimulationChecker:
+    def test_identity_simulation(self):
+        concrete = Producer(limit=2)
+        abstract = Producer(limit=2)
+
+        def correspondence(action, pre, post, abs_automaton):
+            return [action]
+
+        def relation(concrete_state, abs_automaton):
+            return concrete_state["sent"] == abs_automaton.sent
+
+        checker = ForwardSimulationChecker(abstract, correspondence, relation,
+                                           external_kinds={"tick"})
+        checker.check_start(concrete.snapshot())
+        pre = concrete.snapshot()
+        action = Action("tick", count=0)
+        concrete.step(action)
+        checker.check_step(action, pre, concrete.snapshot())
+        assert checker.report().steps_checked == 1
+
+    def test_mismatched_external_image_rejected(self):
+        abstract = Consumer()
+
+        def correspondence(action, pre, post, abs_automaton):
+            return []  # drops the external action
+
+        checker = ForwardSimulationChecker(
+            abstract, correspondence, lambda s, a: True, external_kinds={"tick"}
+        )
+        with pytest.raises(SimulationRelationError):
+            checker.check_step(Action("tick"), {}, {})
+
+    def test_disabled_abstract_action_rejected(self):
+        abstract = Producer(limit=0)
+
+        def correspondence(action, pre, post, abs_automaton):
+            return [action]
+
+        checker = ForwardSimulationChecker(
+            abstract, correspondence, lambda s, a: True, external_kinds={"tick"}
+        )
+        with pytest.raises(SimulationRelationError):
+            checker.check_step(Action("tick"), {}, {})
+
+    def test_relation_violation_rejected(self):
+        abstract = Consumer()
+
+        def correspondence(action, pre, post, abs_automaton):
+            return [action]
+
+        checker = ForwardSimulationChecker(
+            abstract, correspondence, lambda s, a: False, external_kinds={"tick"}
+        )
+        with pytest.raises(SimulationRelationError):
+            checker.check_step(Action("tick"), {}, {})

@@ -1,0 +1,85 @@
+"""Tests for repro.common: identifiers, generators and the infinity label."""
+
+import pytest
+
+from repro.common import (
+    INFINITY,
+    Infinity,
+    OperationId,
+    OperationIdGenerator,
+    client_of,
+    freeze_ids,
+)
+
+
+class TestOperationId:
+    def test_equality_and_hash(self):
+        a = OperationId("alice", 1)
+        b = OperationId("alice", 1)
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a != OperationId("alice", 2)
+        assert a != OperationId("bob", 1)
+
+    def test_ordering_is_total(self):
+        ids = [OperationId("b", 0), OperationId("a", 1), OperationId("a", 0)]
+        assert sorted(ids) == [OperationId("a", 0), OperationId("a", 1), OperationId("b", 0)]
+
+    def test_client_of(self):
+        assert client_of(OperationId("carol", 7)) == "carol"
+
+    def test_str_contains_client_and_seqno(self):
+        text = str(OperationId("alice", 3))
+        assert "alice" in text and "3" in text
+
+
+class TestOperationIdGenerator:
+    def test_fresh_ids_are_unique(self):
+        gen = OperationIdGenerator("alice")
+        ids = [gen.fresh() for _ in range(100)]
+        assert len(set(ids)) == 100
+
+    def test_ids_carry_client(self):
+        gen = OperationIdGenerator("bob")
+        assert all(op_id.client == "bob" for op_id in (gen.fresh() for _ in range(5)))
+
+    def test_start_offset(self):
+        gen = OperationIdGenerator("alice", start=10)
+        assert gen.fresh().seqno == 10
+
+    def test_iteration_yields_fresh_ids(self):
+        gen = OperationIdGenerator("alice")
+        iterator = iter(gen)
+        first, second = next(iterator), next(iterator)
+        assert first != second
+
+    def test_two_generators_same_client_collide(self):
+        # Documented behaviour: uniqueness is per-generator; the system gives
+        # each client exactly one generator.
+        a = OperationIdGenerator("alice")
+        b = OperationIdGenerator("alice")
+        assert a.fresh() == b.fresh()
+
+
+class TestInfinity:
+    def test_singleton(self):
+        assert Infinity() is INFINITY
+
+    def test_greater_than_everything(self):
+        assert INFINITY > 10
+        assert not (INFINITY < 10)
+        assert INFINITY >= INFINITY
+        assert INFINITY <= INFINITY
+
+    def test_equality_only_with_itself(self):
+        assert INFINITY == INFINITY
+        assert INFINITY != 10**9
+
+    def test_hashable(self):
+        assert len({INFINITY, Infinity()}) == 1
+
+
+def test_freeze_ids_returns_frozenset():
+    ids = freeze_ids([OperationId("a", 0), OperationId("a", 0), OperationId("a", 1)])
+    assert isinstance(ids, frozenset)
+    assert len(ids) == 2

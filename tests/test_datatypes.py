@@ -1,0 +1,305 @@
+"""Serial-semantics tests for every shipped data type (Section 2.2)."""
+
+import pytest
+
+from repro.datatypes import (
+    AppendLogType,
+    BankAccountType,
+    CounterType,
+    DirectoryType,
+    GSetType,
+    QueueType,
+    RegisterType,
+)
+from repro.datatypes.base import Operator, apply_sequence
+
+
+ALL_TYPES = [
+    RegisterType(),
+    CounterType(),
+    GSetType(),
+    DirectoryType(),
+    AppendLogType(),
+    QueueType(),
+    BankAccountType(),
+]
+
+
+@pytest.mark.parametrize("data_type", ALL_TYPES, ids=lambda t: t.name)
+class TestCommonContract:
+    def test_initial_state_is_stable(self, data_type):
+        assert data_type.initial_state() == data_type.initial_state()
+
+    def test_unknown_operator_rejected_by_apply(self, data_type):
+        with pytest.raises(ValueError):
+            data_type.apply(data_type.initial_state(), Operator("no_such_operator"))
+
+    def test_unknown_operator_rejected_by_check(self, data_type):
+        with pytest.raises(ValueError):
+            data_type.check_operator(Operator("no_such_operator"))
+
+    def test_apply_is_pure(self, data_type):
+        state = data_type.initial_state()
+        # Applying the same operator twice from the same state gives the same
+        # result both times.
+        probe = {
+            "register": RegisterType.write(1),
+            "counter": CounterType.increment(),
+            "gset": GSetType.insert("x"),
+            "directory": DirectoryType.create("n"),
+            "appendlog": AppendLogType.append("x"),
+            "queue": QueueType.enqueue("x"),
+            "bank": BankAccountType.deposit(5),
+        }[data_type.name]
+        assert data_type.apply(state, probe) == data_type.apply(state, probe)
+
+    def test_independence_implies_commutativity(self, data_type):
+        probes = {
+            "register": [RegisterType.read(), RegisterType.write(1), RegisterType.write(2)],
+            "counter": [CounterType.read(), CounterType.increment(), CounterType.double()],
+            "gset": [GSetType.insert("a"), GSetType.insert("b"), GSetType.contains("a")],
+            "directory": [DirectoryType.create("a"), DirectoryType.set_attr("a", "k", 1),
+                          DirectoryType.lookup("a")],
+            "appendlog": [AppendLogType.append(1), AppendLogType.append(2), AppendLogType.read()],
+            "queue": [QueueType.enqueue(1), QueueType.dequeue(), QueueType.peek()],
+            "bank": [BankAccountType.deposit(1), BankAccountType.withdraw(1), BankAccountType.balance()],
+        }[data_type.name]
+        for a in probes:
+            for b in probes:
+                if data_type.independent(a, b):
+                    assert data_type.commute(a, b)
+
+
+class TestRegister:
+    def test_read_initial(self):
+        reg = RegisterType(initial="init")
+        assert reg.apply(reg.initial_state(), RegisterType.read()) == ("init", "init")
+
+    def test_write_then_read(self):
+        reg = RegisterType()
+        state, value = reg.apply(reg.initial_state(), RegisterType.write(42))
+        assert value == 42
+        assert reg.apply(state, RegisterType.read())[1] == 42
+
+    def test_writes_do_not_commute(self):
+        reg = RegisterType()
+        assert not reg.commute(RegisterType.write(1), RegisterType.write(2))
+        assert reg.commute(RegisterType.write(1), RegisterType.write(1))
+
+    def test_read_is_read_only(self):
+        reg = RegisterType()
+        assert reg.is_read_only(RegisterType.read())
+        assert not reg.is_read_only(RegisterType.write(0))
+
+    def test_operator_arity_checked(self):
+        reg = RegisterType()
+        with pytest.raises(ValueError):
+            reg.check_operator(Operator("write"))
+        with pytest.raises(ValueError):
+            reg.check_operator(Operator("read", (1,)))
+
+
+class TestCounter:
+    def test_increment_and_add(self):
+        counter = CounterType()
+        state, value = counter.apply(0, CounterType.increment())
+        assert (state, value) == (1, 1)
+        state, value = counter.apply(state, CounterType.add(5))
+        assert (state, value) == (6, 6)
+
+    def test_double(self):
+        counter = CounterType(initial=3)
+        assert counter.apply(counter.initial_state(), CounterType.double()) == (6, 6)
+
+    def test_paper_increment_double_example(self):
+        """Section 10.3's motivating example: from 1, the two orders differ."""
+        counter = CounterType(initial=1)
+        inc_then_double = counter.outcome([CounterType.increment(), CounterType.double()])
+        double_then_inc = counter.outcome([CounterType.double(), CounterType.increment()])
+        assert inc_then_double == 4
+        assert double_then_inc == 3
+
+    def test_increment_double_do_not_commute(self):
+        counter = CounterType()
+        assert not counter.commute(CounterType.increment(), CounterType.double())
+        assert counter.commute(CounterType.increment(), CounterType.add(3))
+        assert counter.commute(CounterType.double(), CounterType.double())
+
+    def test_add_zero_commutes_with_double(self):
+        counter = CounterType()
+        assert counter.commute(CounterType.add(0), CounterType.double())
+
+    def test_add_requires_integer(self):
+        with pytest.raises(ValueError):
+            CounterType().check_operator(Operator("add", ("five",)))
+
+
+class TestGSet:
+    def test_insert_and_contains(self):
+        gset = GSetType()
+        state, created = gset.apply(gset.initial_state(), GSetType.insert("a"))
+        assert created is True
+        assert gset.apply(state, GSetType.contains("a"))[1] is True
+        assert gset.apply(state, GSetType.contains("b"))[1] is False
+
+    def test_duplicate_insert_reports_false(self):
+        gset = GSetType()
+        state, _ = gset.apply(gset.initial_state(), GSetType.insert("a"))
+        _, created = gset.apply(state, GSetType.insert("a"))
+        assert created is False
+
+    def test_size_and_snapshot(self):
+        gset = GSetType()
+        state, _ = apply_sequence(gset, [GSetType.insert("a"), GSetType.insert("b")])
+        assert gset.apply(state, GSetType.size())[1] == 2
+        assert gset.apply(state, GSetType.snapshot())[1] == frozenset({"a", "b"})
+
+    def test_inserts_commute(self):
+        gset = GSetType()
+        assert gset.commute(GSetType.insert("a"), GSetType.insert("b"))
+        assert gset.commute(GSetType.insert("a"), GSetType.insert("a"))
+
+    def test_insert_of_distinct_elements_independent(self):
+        gset = GSetType()
+        assert gset.independent(GSetType.insert("a"), GSetType.insert("b"))
+        assert not gset.independent(GSetType.insert("a"), GSetType.insert("a"))
+
+
+class TestDirectory:
+    def test_create_lookup_roundtrip(self):
+        directory = DirectoryType()
+        state, created = directory.apply(directory.initial_state(), DirectoryType.create("www"))
+        assert created is True
+        state, ok = directory.apply(state, DirectoryType.set_attr("www", "ip", "10.0.0.1"))
+        assert ok is True
+        _, attrs = directory.apply(state, DirectoryType.lookup("www"))
+        assert dict(attrs) == {"ip": "10.0.0.1"}
+
+    def test_lookup_missing_is_none(self):
+        directory = DirectoryType()
+        assert directory.apply(directory.initial_state(), DirectoryType.lookup("nope"))[1] is None
+
+    def test_set_attr_on_missing_name_is_none(self):
+        directory = DirectoryType()
+        _, result = directory.apply(directory.initial_state(), DirectoryType.set_attr("x", "a", 1))
+        assert result is None
+
+    def test_remove(self):
+        directory = DirectoryType()
+        state, _ = directory.apply(directory.initial_state(), DirectoryType.create("www"))
+        state, existed = directory.apply(state, DirectoryType.remove("www"))
+        assert existed is True
+        assert directory.apply(state, DirectoryType.lookup("www"))[1] is None
+
+    def test_list_names_sorted(self):
+        directory = DirectoryType()
+        state, _ = apply_sequence(
+            directory, [DirectoryType.create("b"), DirectoryType.create("a")]
+        )
+        assert directory.apply(state, DirectoryType.list_names())[1] == ("a", "b")
+
+    def test_updates_on_distinct_names_commute(self):
+        directory = DirectoryType()
+        assert directory.commute(DirectoryType.create("a"), DirectoryType.create("b"))
+        assert directory.commute(
+            DirectoryType.set_attr("a", "k", 1), DirectoryType.set_attr("b", "k", 2)
+        )
+
+    def test_conflicting_set_attr_does_not_commute(self):
+        directory = DirectoryType()
+        assert not directory.commute(
+            DirectoryType.set_attr("a", "k", 1), DirectoryType.set_attr("a", "k", 2)
+        )
+        assert directory.commute(
+            DirectoryType.set_attr("a", "k1", 1), DirectoryType.set_attr("a", "k2", 2)
+        )
+
+
+class TestAppendLog:
+    def test_append_reports_index(self):
+        log = AppendLogType()
+        state, index0 = log.apply(log.initial_state(), AppendLogType.append("x"))
+        state, index1 = log.apply(state, AppendLogType.append("y"))
+        assert (index0, index1) == (0, 1)
+        assert log.apply(state, AppendLogType.read())[1] == ("x", "y")
+
+    def test_last_and_length(self):
+        log = AppendLogType()
+        assert log.apply(log.initial_state(), AppendLogType.last())[1] is None
+        state, _ = log.apply(log.initial_state(), AppendLogType.append("a"))
+        assert log.apply(state, AppendLogType.last())[1] == "a"
+        assert log.apply(state, AppendLogType.length())[1] == 1
+
+    def test_appends_do_not_commute(self):
+        log = AppendLogType()
+        assert not log.commute(AppendLogType.append("a"), AppendLogType.append("b"))
+
+
+class TestQueue:
+    def test_fifo_order(self):
+        queue = QueueType()
+        state, _ = apply_sequence(queue, [QueueType.enqueue(1), QueueType.enqueue(2)])
+        state, head = queue.apply(state, QueueType.dequeue())
+        assert head == 1
+        assert queue.apply(state, QueueType.peek())[1] == 2
+
+    def test_dequeue_empty_returns_none(self):
+        queue = QueueType()
+        state, head = queue.apply(queue.initial_state(), QueueType.dequeue())
+        assert head is None
+        assert state == ()
+
+    def test_length(self):
+        queue = QueueType()
+        state, length = queue.apply(queue.initial_state(), QueueType.enqueue("a"))
+        assert length == 1
+        assert queue.apply(state, QueueType.length())[1] == 1
+
+
+class TestBankAccount:
+    def test_deposit_and_balance(self):
+        bank = BankAccountType(initial=10)
+        state, balance = bank.apply(bank.initial_state(), BankAccountType.deposit(5))
+        assert balance == 15
+        assert bank.apply(state, BankAccountType.balance())[1] == 15
+
+    def test_withdraw_insufficient_funds_rejected(self):
+        bank = BankAccountType()
+        state, result = bank.apply(0, BankAccountType.withdraw(5))
+        assert result is None
+        assert state == 0
+
+    def test_withdraw_success(self):
+        bank = BankAccountType()
+        state, result = bank.apply(10, BankAccountType.withdraw(4))
+        assert (state, result) == (6, 6)
+
+    def test_deposits_commute_withdrawals_do_not(self):
+        bank = BankAccountType()
+        assert bank.commute(BankAccountType.deposit(1), BankAccountType.deposit(2))
+        assert not bank.commute(BankAccountType.deposit(5), BankAccountType.withdraw(5))
+
+    def test_negative_amounts_rejected(self):
+        bank = BankAccountType()
+        with pytest.raises(ValueError):
+            bank.check_operator(Operator("deposit", (-1,)))
+        with pytest.raises(ValueError):
+            BankAccountType(initial=-3)
+
+
+class TestApplySequence:
+    def test_collects_all_values(self):
+        counter = CounterType()
+        final, values = apply_sequence(
+            counter, [CounterType.increment(), CounterType.double(), CounterType.read()]
+        )
+        assert final == 2
+        assert values == [1, 2, 2]
+
+    def test_outcome_and_value_of_last(self):
+        counter = CounterType()
+        ops = [CounterType.increment(), CounterType.increment()]
+        assert counter.outcome(ops) == 2
+        assert counter.value_of_last(ops) == 2
+        with pytest.raises(ValueError):
+            counter.value_of_last([])

@@ -1,0 +1,66 @@
+"""Tests for the label space and per-replica label generation (§6.3)."""
+
+import pytest
+
+from repro.algorithm.labels import Label, LabelGenerator, label_min, label_sort_key
+from repro.common import INFINITY
+
+
+class TestLabelOrder:
+    def test_rank_dominates(self):
+        assert Label(1, "r9") < Label(2, "r0")
+
+    def test_replica_breaks_ties(self):
+        assert Label(1, "r0") < Label(1, "r1")
+
+    def test_total_order(self):
+        labels = [Label(2, "r0"), Label(1, "r1"), Label(1, "r0")]
+        assert sorted(labels) == [Label(1, "r0"), Label(1, "r1"), Label(2, "r0")]
+
+    def test_every_label_below_infinity(self):
+        assert Label(10**9, "zzz") < INFINITY
+        assert INFINITY > Label(0, "r0")
+        assert not (INFINITY < Label(0, "r0"))
+
+    def test_label_min(self):
+        a, b = Label(1, "r0"), Label(2, "r0")
+        assert label_min(a, b) == a
+        assert label_min(INFINITY, a) == a
+        assert label_min(a, INFINITY) == a
+        assert label_min(INFINITY, INFINITY) is INFINITY
+
+    def test_sort_key_places_infinity_last(self):
+        values = [INFINITY, Label(3, "r1"), Label(1, "r0")]
+        assert sorted(values, key=label_sort_key)[-1] is INFINITY
+
+
+class TestLabelGenerator:
+    def test_labels_come_from_own_set(self):
+        gen = LabelGenerator("r1")
+        assert all(gen.fresh().replica == "r1" for _ in range(5))
+
+    def test_labels_strictly_increase(self):
+        gen = LabelGenerator("r1")
+        labels = [gen.fresh() for _ in range(10)]
+        assert all(earlier < later for earlier, later in zip(labels, labels[1:]))
+
+    def test_fresh_exceeds_constraints(self):
+        gen = LabelGenerator("r1")
+        label = gen.fresh(greater_than=[Label(41, "r0"), Label(7, "r2")])
+        assert label > Label(41, "r0")
+        assert label > Label(7, "r2")
+
+    def test_fresh_ignores_infinity(self):
+        gen = LabelGenerator("r1")
+        label = gen.fresh(greater_than=[INFINITY])
+        assert isinstance(label, Label)
+
+    def test_observed_raises_floor(self):
+        gen = LabelGenerator("r1")
+        gen.observed(Label(100, "r0"))
+        assert gen.fresh() > Label(100, "r0")
+
+    def test_two_replicas_never_collide(self):
+        a, b = LabelGenerator("r1"), LabelGenerator("r2")
+        labels = {a.fresh() for _ in range(20)} | {b.fresh() for _ in range(20)}
+        assert len(labels) == 40

@@ -1,0 +1,95 @@
+"""Tests for operation descriptors and client-specified constraints (§2.3)."""
+
+import pytest
+
+from repro.common import OperationId, OperationIdGenerator
+from repro.core.operations import (
+    OperationDescriptor,
+    client_specified_constraints,
+    ids_of,
+    make_operation,
+    operations_by_id,
+)
+from repro.datatypes import CounterType
+
+
+@pytest.fixture
+def gen():
+    return OperationIdGenerator("alice")
+
+
+class TestOperationDescriptor:
+    def test_prev_normalised_to_frozenset(self, gen):
+        dep = gen.fresh()
+        op = OperationDescriptor(CounterType.increment(), gen.fresh(), prev={dep})
+        assert isinstance(op.prev, frozenset)
+        assert op.prev == frozenset({dep})
+
+    def test_descriptor_is_hashable_and_equal_by_value(self, gen):
+        op_id = gen.fresh()
+        a = make_operation(CounterType.increment(), op_id)
+        b = make_operation(CounterType.increment(), op_id)
+        assert a == b
+        assert len({a, b}) == 1
+
+    def test_client_property(self, gen):
+        op = make_operation(CounterType.read(), gen.fresh())
+        assert op.client == "alice"
+
+    def test_with_strict_and_with_prev(self, gen):
+        op = make_operation(CounterType.read(), gen.fresh())
+        strict_op = op.with_strict(True)
+        assert strict_op.strict and not op.strict
+        dep = gen.fresh()
+        dependent = op.with_prev([dep])
+        assert dependent.prev == frozenset({dep})
+        assert op.prev == frozenset()
+
+    def test_str_marks_strict(self, gen):
+        op = make_operation(CounterType.read(), gen.fresh(), strict=True)
+        assert str(op).startswith("!")
+
+
+class TestClientSpecifiedConstraints:
+    def test_empty_for_independent_operations(self, gen):
+        ops = [make_operation(CounterType.increment(), gen.fresh()) for _ in range(3)]
+        assert client_specified_constraints(ops) == set()
+
+    def test_prev_produces_pairs(self, gen):
+        first = make_operation(CounterType.increment(), gen.fresh())
+        second = make_operation(CounterType.read(), gen.fresh(), prev=[first.id])
+        csc = client_specified_constraints([first, second])
+        assert csc == {(first.id, second.id)}
+
+    def test_constraints_reference_external_operations(self, gen):
+        ghost = gen.fresh()
+        op = make_operation(CounterType.read(), gen.fresh(), prev=[ghost])
+        assert client_specified_constraints([op]) == {(ghost, op.id)}
+
+    def test_monotone_in_the_operation_set(self, gen):
+        """Lemma 2.4: X ⊆ Y implies CSC(X) ⊆ CSC(Y)."""
+        first = make_operation(CounterType.increment(), gen.fresh())
+        second = make_operation(CounterType.read(), gen.fresh(), prev=[first.id])
+        third = make_operation(CounterType.read(), gen.fresh(), prev=[second.id])
+        smaller = client_specified_constraints([first, second])
+        larger = client_specified_constraints([first, second, third])
+        assert smaller <= larger
+
+
+class TestOperationsById:
+    def test_index_builds(self, gen):
+        ops = [make_operation(CounterType.increment(), gen.fresh()) for _ in range(4)]
+        index = operations_by_id(ops)
+        assert set(index) == ids_of(ops)
+
+    def test_conflicting_reuse_rejected(self, gen):
+        op_id = gen.fresh()
+        a = make_operation(CounterType.increment(), op_id)
+        b = make_operation(CounterType.double(), op_id)
+        with pytest.raises(ValueError):
+            operations_by_id([a, b])
+
+    def test_identical_duplicates_tolerated(self, gen):
+        op_id = gen.fresh()
+        a = make_operation(CounterType.increment(), op_id)
+        assert operations_by_id([a, a])[op_id] == a

@@ -1,0 +1,221 @@
+"""Tests for relations, partial orders and outcome/val/valset (§2.1, §2.3)."""
+
+import pytest
+
+from repro.common import OperationIdGenerator
+from repro.core.operations import make_operation
+from repro.core.orders import (
+    PartialOrder,
+    induced_order,
+    is_consistent,
+    is_strict_partial_order,
+    linear_extensions,
+    outcome,
+    span,
+    topological_total_order,
+    transitive_closure,
+    val,
+    valset,
+    value_under_prefix_order,
+)
+from repro.datatypes import CounterType, RegisterType
+
+
+class TestTransitiveClosure:
+    def test_simple_chain(self):
+        closure = transitive_closure({(1, 2), (2, 3)})
+        assert (1, 3) in closure
+        assert closure == {(1, 2), (2, 3), (1, 3)}
+
+    def test_cycle_detected_by_reflexive_pairs(self):
+        closure = transitive_closure({(1, 2), (2, 1)})
+        assert (1, 1) in closure and (2, 2) in closure
+
+    def test_empty(self):
+        assert transitive_closure(set()) == set()
+
+    def test_is_strict_partial_order(self):
+        assert is_strict_partial_order({(1, 2), (2, 3), (1, 3)})
+        assert not is_strict_partial_order({(1, 2), (2, 3)})  # not transitive
+        assert not is_strict_partial_order({(1, 1)})
+
+
+class TestConsistency:
+    def test_consistent_relations(self):
+        assert is_consistent({(1, 2)}, {(2, 3)})
+
+    def test_inconsistent_relations(self):
+        assert not is_consistent({(1, 2)}, {(2, 1)})
+
+    def test_span_and_induced(self):
+        relation = {(1, 2), (3, 4)}
+        assert span(relation) == {1, 2, 3, 4}
+        assert induced_order(relation, {1, 2}) == {(1, 2)}
+
+
+class TestPartialOrder:
+    def test_rejects_cycles(self):
+        with pytest.raises(ValueError):
+            PartialOrder({(1, 2), (2, 1)})
+
+    def test_precedes_uses_transitive_closure(self):
+        order = PartialOrder({(1, 2), (2, 3)})
+        assert order.precedes(1, 3)
+        assert not order.precedes(3, 1)
+
+    def test_comparable(self):
+        order = PartialOrder({(1, 2)})
+        assert order.comparable(1, 2)
+        assert order.comparable(2, 1)
+        assert order.comparable(1, 1)
+        assert not order.comparable(1, 3)
+
+    def test_extended_with_conflicting_pair_raises(self):
+        order = PartialOrder({(1, 2)})
+        with pytest.raises(ValueError):
+            order.extended_with({(2, 1)})
+
+    def test_extension_preserves_existing_pairs(self):
+        order = PartialOrder({(1, 2)})
+        extended = order.extended_with({(2, 3)})
+        assert order <= extended
+        assert extended.precedes(1, 3)
+
+    def test_restriction_is_partial_order(self):
+        """Lemma 2.2."""
+        order = PartialOrder({(1, 2), (2, 3)})
+        restricted = order.restricted_to({1, 3})
+        assert restricted.precedes(1, 3)
+        assert restricted.span() <= {1, 3}
+
+    def test_totally_orders(self):
+        order = PartialOrder({(1, 2), (2, 3)})
+        assert order.totally_orders({1, 2, 3})
+        assert not PartialOrder({(1, 2)}).totally_orders({1, 2, 3})
+
+    def test_predecessors(self):
+        order = PartialOrder({(1, 2), (2, 3)})
+        assert order.predecessors(3, {1, 2, 3}) == {1, 2}
+
+    def test_equality(self):
+        assert PartialOrder({(1, 2), (2, 3)}) == PartialOrder({(2, 3), (1, 2)})
+
+
+class TestTopologicalOrder:
+    def test_respects_constraints(self):
+        order = topological_total_order({(1, 2), (1, 3), (3, 2)}, {1, 2, 3})
+        assert order.index(1) < order.index(3) < order.index(2)
+
+    def test_deterministic(self):
+        first = topological_total_order(set(), {3, 1, 2})
+        second = topological_total_order(set(), {2, 1, 3})
+        assert first == second
+
+    def test_cycle_raises(self):
+        with pytest.raises(ValueError):
+            topological_total_order({(1, 2), (2, 1)}, {1, 2})
+
+
+class TestLinearExtensions:
+    def test_counts_antichain(self):
+        extensions = list(linear_extensions(set(), {1, 2, 3}))
+        assert len(extensions) == 6
+
+    def test_counts_chain(self):
+        extensions = list(linear_extensions({(1, 2), (2, 3)}, {1, 2, 3}))
+        assert extensions == [[1, 2, 3]]
+
+    def test_limit(self):
+        extensions = list(linear_extensions(set(), set(range(5)), limit=7))
+        assert len(extensions) == 7
+
+    def test_every_extension_respects_order(self):
+        pairs = {(1, 3), (2, 3)}
+        for extension in linear_extensions(pairs, {1, 2, 3, 4}):
+            assert extension.index(1) < extension.index(3)
+            assert extension.index(2) < extension.index(3)
+
+
+@pytest.fixture
+def counter_ops():
+    gen = OperationIdGenerator("c")
+    inc = make_operation(CounterType.increment(), gen.fresh())
+    double = make_operation(CounterType.double(), gen.fresh())
+    read = make_operation(CounterType.read(), gen.fresh())
+    return inc, double, read
+
+
+class TestOutcomeValValset:
+    def test_outcome_applies_in_order(self, counter_ops):
+        inc, double, read = counter_ops
+        counter = CounterType(initial=1)
+        assert outcome(counter, [inc, double], [inc.id, double.id]) == 4
+        assert outcome(counter, [inc, double], [double.id, inc.id]) == 3
+
+    def test_val_reports_target_value(self, counter_ops):
+        inc, double, read = counter_ops
+        counter = CounterType(initial=1)
+        assert val(counter, read, [inc, double, read], [inc.id, double.id, read.id]) == 4
+        assert val(counter, read, [inc, double, read], [double.id, inc.id, read.id]) == 3
+
+    def test_val_requires_target_in_set(self, counter_ops):
+        inc, double, read = counter_ops
+        with pytest.raises(ValueError):
+            val(CounterType(), read, [inc, double], [inc.id, double.id])
+
+    def test_valset_nonempty_for_partial_order(self, counter_ops):
+        """Lemma 2.5."""
+        inc, double, read = counter_ops
+        counter = CounterType(initial=1)
+        values = valset(counter, read, [inc, double, read], PartialOrder())
+        assert values  # nonempty
+        assert values == {1, 2, 3, 4}
+
+    def test_valset_read_after_both_updates(self, counter_ops):
+        inc, double, read = counter_ops
+        counter = CounterType(initial=1)
+        order = PartialOrder({(inc.id, read.id), (double.id, read.id)})
+        assert valset(counter, read, [inc, double, read], order) == {3, 4}
+
+    def test_valset_shrinks_with_more_constraints(self, counter_ops):
+        """Lemma 2.6: more constraints -> fewer possible values."""
+        inc, double, read = counter_ops
+        counter = CounterType(initial=1)
+        unconstrained = valset(counter, read, [inc, double, read], PartialOrder())
+        constrained = valset(
+            counter,
+            read,
+            [inc, double, read],
+            PartialOrder({(inc.id, double.id), (double.id, read.id)}),
+        )
+        assert constrained <= unconstrained
+        assert constrained == {4}
+
+    def test_valset_with_total_order_is_singleton(self, counter_ops):
+        inc, double, read = counter_ops
+        counter = CounterType()
+        order = PartialOrder({(inc.id, double.id), (double.id, read.id), (inc.id, read.id)})
+        assert len(valset(counter, read, [inc, double, read], order)) == 1
+
+    def test_prefix_value_matches_val(self, counter_ops):
+        """Lemma 2.7 in its operational form."""
+        inc, double, read = counter_ops
+        counter = CounterType(initial=1)
+        prefix_value = value_under_prefix_order(counter, read, [inc, double, read])
+        assert prefix_value == val(
+            counter, read, [inc, double, read], [inc.id, double.id, read.id]
+        )
+
+    def test_prefix_value_requires_target_last(self, counter_ops):
+        inc, double, read = counter_ops
+        with pytest.raises(ValueError):
+            value_under_prefix_order(CounterType(), read, [read, inc])
+
+    def test_register_valset(self):
+        gen = OperationIdGenerator("c")
+        reg = RegisterType()
+        w1 = make_operation(RegisterType.write("a"), gen.fresh())
+        w2 = make_operation(RegisterType.write("b"), gen.fresh())
+        r = make_operation(RegisterType.read(), gen.fresh())
+        values = valset(reg, r, [w1, w2, r], PartialOrder({(w1.id, r.id), (w2.id, r.id)}))
+        assert values == {"a", "b"}

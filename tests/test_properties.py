@@ -1,0 +1,258 @@
+"""Property-based tests (hypothesis) on the core data structures and the
+algorithm's convergence invariants."""
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.algorithm.labels import Label, LabelGenerator, label_min
+from repro.algorithm.messages import RequestMessage
+from repro.algorithm.replica import ReplicaCore
+from repro.common import INFINITY, OperationIdGenerator
+from repro.core.operations import client_specified_constraints, make_operation
+from repro.core.orders import (
+    PartialOrder,
+    linear_extensions,
+    topological_total_order,
+    transitive_closure,
+    valset,
+)
+from repro.datatypes import CounterType, GSetType, RegisterType
+
+# ---------------------------------------------------------------------------
+# Relation / partial-order algebra
+# ---------------------------------------------------------------------------
+
+small_pairs = st.lists(
+    st.tuples(st.integers(0, 6), st.integers(0, 6)).filter(lambda p: p[0] != p[1]),
+    max_size=10,
+)
+
+
+@settings(max_examples=60, deadline=None)
+@given(small_pairs)
+def test_transitive_closure_is_transitive_and_monotone(pairs):
+    closure = transitive_closure(pairs)
+    assert set(pairs) - {(a, b) for a, b in pairs if a == b} <= closure | set(pairs)
+    # Transitivity.
+    for a, b in closure:
+        for c, d in closure:
+            if b == c:
+                assert (a, d) in closure
+    # Idempotence.
+    assert transitive_closure(closure) == closure
+
+
+@settings(max_examples=60, deadline=None)
+@given(small_pairs)
+def test_acyclic_relations_build_partial_orders(pairs):
+    closure = transitive_closure(pairs)
+    if any(a == b for a, b in closure):
+        return  # cyclic inputs are rejected elsewhere
+    order = PartialOrder(pairs)
+    for a, b in pairs:
+        assert order.precedes(a, b)
+    # Antisymmetry of the strict order.
+    assert not any(order.precedes(b, a) and order.precedes(a, b) for a, b in order.pairs)
+
+
+@settings(max_examples=40, deadline=None)
+@given(small_pairs, st.sets(st.integers(0, 6), min_size=1, max_size=5))
+def test_topological_order_is_a_linear_extension(pairs, universe):
+    closure = transitive_closure(pairs)
+    if any(a == b for a, b in closure):
+        return
+    order = topological_total_order(pairs, universe)
+    assert set(order) == set(universe)
+    position = {value: index for index, value in enumerate(order)}
+    for a, b in pairs:
+        if a in position and b in position:
+            assert position[a] < position[b]
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.sets(st.integers(0, 4), min_size=1, max_size=4))
+def test_linear_extension_count_of_antichain_is_factorial(universe):
+    import math
+
+    extensions = list(linear_extensions(set(), universe))
+    assert len(extensions) == math.factorial(len(universe))
+    assert all(set(ext) == universe for ext in extensions)
+
+
+# ---------------------------------------------------------------------------
+# valset properties (Lemmas 2.5 / 2.6)
+# ---------------------------------------------------------------------------
+
+
+@st.composite
+def counter_operation_sets(draw):
+    gen = OperationIdGenerator("c")
+    count = draw(st.integers(2, 4))
+    operators = [
+        draw(st.sampled_from([CounterType.increment(), CounterType.add(2),
+                              CounterType.double(), CounterType.read()]))
+        for _ in range(count)
+    ]
+    ops = [make_operation(op, gen.fresh()) for op in operators]
+    constraint_candidates = [
+        (a.id, b.id) for i, a in enumerate(ops) for b in ops[i + 1:]
+    ]
+    chosen = draw(st.lists(st.sampled_from(constraint_candidates), max_size=3, unique=True)) \
+        if constraint_candidates else []
+    return ops, chosen
+
+
+@settings(max_examples=40, deadline=None)
+@given(counter_operation_sets())
+def test_valset_nonempty_and_antitone(data):
+    ops, constraints = data
+    counter = CounterType(initial=1)
+    base = PartialOrder()
+    try:
+        constrained = PartialOrder(constraints)
+    except ValueError:
+        return
+    for target in ops:
+        unconstrained_values = valset(counter, target, ops, base)
+        constrained_values = valset(counter, target, ops, constrained)
+        assert unconstrained_values, "Lemma 2.5: valset must be nonempty"
+        assert constrained_values <= unconstrained_values, "Lemma 2.6"
+
+
+# ---------------------------------------------------------------------------
+# Commutativity metadata vs. actual semantics
+# ---------------------------------------------------------------------------
+
+counter_operators = st.sampled_from(
+    [CounterType.read(), CounterType.increment(), CounterType.add(3), CounterType.double()]
+)
+register_operators = st.sampled_from(
+    [RegisterType.read(), RegisterType.write(1), RegisterType.write(2)]
+)
+gset_operators = st.sampled_from(
+    [GSetType.insert("a"), GSetType.insert("b"), GSetType.contains("a"), GSetType.size()]
+)
+
+
+@settings(max_examples=60, deadline=None)
+@given(counter_operators, counter_operators, st.integers(0, 5))
+def test_counter_commute_metadata_is_sound(a, b, start):
+    counter = CounterType(initial=start)
+    if counter.commute(a, b):
+        assert counter.outcome([a, b]) == counter.outcome([b, a])
+
+
+@settings(max_examples=40, deadline=None)
+@given(register_operators, register_operators)
+def test_register_commute_metadata_is_sound(a, b):
+    register = RegisterType(initial=0)
+    if register.commute(a, b):
+        assert register.outcome([a, b]) == register.outcome([b, a])
+
+
+@settings(max_examples=40, deadline=None)
+@given(gset_operators, gset_operators)
+def test_gset_commute_metadata_is_sound(a, b):
+    gset = GSetType()
+    if gset.commute(a, b):
+        assert gset.outcome([a, b]) == gset.outcome([b, a])
+
+
+@settings(max_examples=40, deadline=None)
+@given(counter_operators, counter_operators, st.integers(0, 5))
+def test_obliviousness_metadata_is_sound(a, b, start):
+    counter = CounterType(initial=start)
+    if counter.oblivious(a, b):
+        alone = counter.apply(counter.initial_state(), a)[1]
+        after_b = counter.value_of_last([b, a])
+        assert alone == after_b
+
+
+# ---------------------------------------------------------------------------
+# Labels
+# ---------------------------------------------------------------------------
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.lists(st.tuples(st.integers(0, 50), st.sampled_from(["r0", "r1", "r2"])),
+                min_size=1, max_size=8))
+def test_fresh_labels_exceed_every_constraint(constraints):
+    labels = [Label(rank, replica) for rank, replica in constraints]
+    generator = LabelGenerator("r9")
+    fresh = generator.fresh(labels)
+    assert all(fresh > label for label in labels)
+    assert fresh.replica == "r9"
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.lists(st.integers(0, 30), min_size=2, max_size=6))
+def test_label_min_is_commutative_and_associative(ranks):
+    labels = [Label(rank, "r0") for rank in ranks] + [INFINITY]
+    total = labels[0]
+    for label in labels[1:]:
+        assert label_min(total, label) == label_min(label, total)
+        total = label_min(total, label)
+    assert total == min(
+        (l for l in labels if l is not INFINITY), key=lambda l: (l.rank, l.replica)
+    )
+
+
+# ---------------------------------------------------------------------------
+# Gossip convergence: labels agree after full exchange, regardless of order
+# ---------------------------------------------------------------------------
+
+
+@st.composite
+def gossip_scenarios(draw):
+    num_ops = draw(st.integers(1, 5))
+    placements = [draw(st.sampled_from(["r0", "r1", "r2"])) for _ in range(num_ops)]
+    rounds = draw(st.integers(2, 3))
+    seed = draw(st.integers(0, 1000))
+    return placements, rounds, seed
+
+
+@settings(max_examples=25, deadline=None)
+@given(gossip_scenarios())
+def test_replicas_converge_to_common_minimum_labels(scenario):
+    placements, rounds, seed = scenario
+    rng = random.Random(seed)
+    replica_ids = ("r0", "r1", "r2")
+    replicas = {rid: ReplicaCore(rid, replica_ids, GSetType()) for rid in replica_ids}
+    gen = OperationIdGenerator("c")
+    ops = []
+    for index, rid in enumerate(placements):
+        op = make_operation(GSetType.insert(index), gen.fresh())
+        ops.append(op)
+        replicas[rid].receive_request(RequestMessage(op))
+        replicas[rid].do_all_ready()
+    pairs = [(a, b) for a in replica_ids for b in replica_ids if a != b]
+    for _ in range(rounds):
+        rng.shuffle(pairs)
+        for source, destination in pairs:
+            replicas[destination].receive_gossip(replicas[source].make_gossip())
+    for op in ops:
+        labels = {replicas[rid].label_of(op.id) for rid in replica_ids}
+        assert len(labels) == 1, "all replicas must agree on the minimum label"
+        assert all(op in replicas[rid].stable_here() for rid in replica_ids)
+    # The agreed labels define the same total order everywhere.
+    orders = {tuple(x.id for x in replicas[rid].done_order()) for rid in replica_ids}
+    assert len(orders) == 1
+
+
+# ---------------------------------------------------------------------------
+# Client-specified constraints
+# ---------------------------------------------------------------------------
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.integers(1, 6), st.integers(0, 1000))
+def test_csc_of_chained_operations_is_acyclic(length, seed):
+    rng = random.Random(seed)
+    gen = OperationIdGenerator("c")
+    history = []
+    for _ in range(length):
+        prev = [rng.choice(history).id] if history and rng.random() < 0.7 else []
+        history.append(make_operation(CounterType.increment(), gen.fresh(), prev=prev))
+    closure = transitive_closure(client_specified_constraints(history))
+    assert not any(a == b for a, b in closure)

@@ -1,0 +1,225 @@
+"""Tests for the ESDS-I / ESDS-II specification automata (Section 5)."""
+
+import random
+
+import pytest
+
+from repro.automata import Action, Composition, RandomScheduler
+from repro.common import OperationIdGenerator, SpecificationError
+from repro.core.operations import make_operation
+from repro.core.orders import PartialOrder
+from repro.datatypes import CounterType
+from repro.spec.esds1 import EsdsSpecI
+from repro.spec.esds2 import EsdsSpecII
+from repro.spec.users import Users
+from repro.verification.invariants import SpecInvariantChecker
+
+
+@pytest.fixture
+def gen():
+    return OperationIdGenerator("alice")
+
+
+def _request_and_enter(spec, operation):
+    spec.step(Action("request", operation=operation))
+    new_po = spec._minimal_new_po_for(operation)
+    spec.step(Action("enter", operation=operation, new_po=new_po))
+    return new_po
+
+
+@pytest.mark.parametrize("spec_class", [EsdsSpecI, EsdsSpecII])
+class TestSharedBehaviour:
+    def test_request_adds_to_wait(self, spec_class, gen):
+        spec = spec_class(CounterType())
+        op = make_operation(CounterType.increment(), gen.fresh())
+        spec.step(Action("request", operation=op))
+        assert op in spec.wait
+
+    def test_enter_requires_prev_in_ops(self, spec_class, gen):
+        spec = spec_class(CounterType())
+        ghost = gen.fresh()
+        op = make_operation(CounterType.increment(), gen.fresh(), prev=[ghost])
+        spec.step(Action("request", operation=op))
+        with pytest.raises(SpecificationError):
+            spec.step(Action("enter", operation=op, new_po=PartialOrder({(ghost, op.id)})))
+
+    def test_enter_requires_waiting_operation(self, spec_class, gen):
+        spec = spec_class(CounterType())
+        op = make_operation(CounterType.increment(), gen.fresh())
+        with pytest.raises(SpecificationError):
+            spec.step(Action("enter", operation=op, new_po=PartialOrder()))
+
+    def test_enter_requires_po_extension(self, spec_class, gen):
+        spec = spec_class(CounterType())
+        a = make_operation(CounterType.increment(), gen.fresh())
+        b = make_operation(CounterType.increment(), gen.fresh())
+        _request_and_enter(spec, a)
+        _request_and_enter(spec, b)
+        spec.step(Action("add_constraints", new_po=spec.po.extended_with({(a.id, b.id)})))
+        c = make_operation(CounterType.read(), gen.fresh())
+        spec.step(Action("request", operation=c))
+        # A new_po that drops the existing constraint must be rejected.
+        with pytest.raises(SpecificationError):
+            spec.step(Action("enter", operation=c, new_po=PartialOrder()))
+
+    def test_enter_must_include_csc(self, spec_class, gen):
+        spec = spec_class(CounterType())
+        a = make_operation(CounterType.increment(), gen.fresh())
+        _request_and_enter(spec, a)
+        b = make_operation(CounterType.read(), gen.fresh(), prev=[a.id])
+        spec.step(Action("request", operation=b))
+        with pytest.raises(SpecificationError):
+            spec.step(Action("enter", operation=b, new_po=spec.po))
+
+    def test_calculate_requires_entered_operation(self, spec_class, gen):
+        spec = spec_class(CounterType())
+        op = make_operation(CounterType.increment(), gen.fresh())
+        spec.step(Action("request", operation=op))
+        with pytest.raises(SpecificationError):
+            spec.step(Action("calculate", operation=op, value=1))
+
+    def test_calculate_value_must_be_in_valset(self, spec_class, gen):
+        spec = spec_class(CounterType())
+        op = make_operation(CounterType.increment(), gen.fresh())
+        _request_and_enter(spec, op)
+        with pytest.raises(SpecificationError):
+            spec.step(Action("calculate", operation=op, value=99))
+        spec.step(Action("calculate", operation=op, value=1))
+        assert (op, 1) in spec.rept
+
+    def test_strict_calculate_requires_stability(self, spec_class, gen):
+        spec = spec_class(CounterType())
+        op = make_operation(CounterType.increment(), gen.fresh(), strict=True)
+        _request_and_enter(spec, op)
+        with pytest.raises(SpecificationError):
+            spec.step(Action("calculate", operation=op, value=1))
+        spec.step(Action("stabilize", operation=op))
+        spec.step(Action("calculate", operation=op, value=1))
+
+    def test_response_requires_calculated_value(self, spec_class, gen):
+        spec = spec_class(CounterType())
+        op = make_operation(CounterType.increment(), gen.fresh())
+        _request_and_enter(spec, op)
+        with pytest.raises(SpecificationError):
+            spec.step(Action("response", operation=op, value=1))
+        spec.step(Action("calculate", operation=op, value=1))
+        spec.step(Action("response", operation=op, value=1))
+        assert op not in spec.wait
+        assert not spec.rept
+
+    def test_add_constraints_only_grows(self, spec_class, gen):
+        spec = spec_class(CounterType())
+        a = make_operation(CounterType.increment(), gen.fresh())
+        b = make_operation(CounterType.double(), gen.fresh())
+        _request_and_enter(spec, a)
+        _request_and_enter(spec, b)
+        grown = spec.po.extended_with({(a.id, b.id)})
+        spec.step(Action("add_constraints", new_po=grown))
+        assert spec.po.precedes(a.id, b.id)
+        with pytest.raises(SpecificationError):
+            spec.step(Action("add_constraints", new_po=PartialOrder()))
+
+    def test_stabilize_requires_comparability(self, spec_class, gen):
+        spec = spec_class(CounterType())
+        a = make_operation(CounterType.increment(), gen.fresh())
+        b = make_operation(CounterType.double(), gen.fresh())
+        _request_and_enter(spec, a)
+        _request_and_enter(spec, b)
+        # a and b are incomparable, so neither may stabilize yet.
+        with pytest.raises(SpecificationError):
+            spec.step(Action("stabilize", operation=a))
+        spec.step(Action("add_constraints", new_po=spec.po.extended_with({(a.id, b.id)})))
+        spec.step(Action("stabilize", operation=a))
+        assert a in spec.stabilized
+
+
+class TestEsds1Specifics:
+    def test_repeated_enter_rejected(self, gen):
+        spec = EsdsSpecI(CounterType())
+        op = make_operation(CounterType.increment(), gen.fresh())
+        _request_and_enter(spec, op)
+        with pytest.raises(SpecificationError):
+            spec.step(Action("enter", operation=op, new_po=spec.po))
+
+    def test_stabilize_requires_stable_prefix(self, gen):
+        spec = EsdsSpecI(CounterType())
+        a = make_operation(CounterType.increment(), gen.fresh())
+        b = make_operation(CounterType.double(), gen.fresh(), prev=[a.id])
+        _request_and_enter(spec, a)
+        _request_and_enter(spec, b)
+        # b's only predecessor a is not stable yet: no gaps allowed in ESDS-I.
+        with pytest.raises(SpecificationError):
+            spec.step(Action("stabilize", operation=b))
+        spec.step(Action("stabilize", operation=a))
+        spec.step(Action("stabilize", operation=b))
+
+    def test_repeated_stabilize_rejected(self, gen):
+        spec = EsdsSpecI(CounterType())
+        op = make_operation(CounterType.increment(), gen.fresh())
+        _request_and_enter(spec, op)
+        spec.step(Action("stabilize", operation=op))
+        with pytest.raises(SpecificationError):
+            spec.step(Action("stabilize", operation=op))
+
+
+class TestEsds2Specifics:
+    def test_repeated_enter_allowed(self, gen):
+        spec = EsdsSpecII(CounterType())
+        op = make_operation(CounterType.increment(), gen.fresh())
+        _request_and_enter(spec, op)
+        spec.step(Action("enter", operation=op, new_po=spec.po))
+
+    def test_stabilize_with_gaps_allowed(self, gen):
+        spec = EsdsSpecII(CounterType())
+        a = make_operation(CounterType.increment(), gen.fresh())
+        b = make_operation(CounterType.double(), gen.fresh(), prev=[a.id])
+        _request_and_enter(spec, a)
+        _request_and_enter(spec, b)
+        # In ESDS-II, b may stabilize although a has not (a "gap"), because
+        # its prefix {a} is totally ordered.
+        spec.step(Action("stabilize", operation=b))
+        assert b in spec.stabilized and a not in spec.stabilized
+
+    def test_stabilize_requires_totally_ordered_prefix(self, gen):
+        spec = EsdsSpecII(CounterType())
+        a = make_operation(CounterType.increment(), gen.fresh())
+        b = make_operation(CounterType.double(), gen.fresh())
+        c = make_operation(CounterType.read(), gen.fresh(), prev=[a.id, b.id])
+        for op in (a, b, c):
+            _request_and_enter(spec, op)
+        # c is comparable with both a and b, but a and b are mutually
+        # incomparable, so c's value is not determined yet.
+        with pytest.raises(SpecificationError):
+            spec.step(Action("stabilize", operation=c))
+
+    def test_repeated_stabilize_is_noop(self, gen):
+        spec = EsdsSpecII(CounterType())
+        op = make_operation(CounterType.increment(), gen.fresh())
+        _request_and_enter(spec, op)
+        spec.step(Action("stabilize", operation=op))
+        spec.step(Action("stabilize", operation=op))
+        assert op in spec.stabilized
+
+
+@pytest.mark.parametrize("spec_class", [EsdsSpecI, EsdsSpecII])
+@pytest.mark.parametrize("seed", [0, 1, 2])
+def test_random_exploration_preserves_spec_invariants(spec_class, seed):
+    """Random executions of ESDS x Users maintain the Section 5.2 invariants."""
+
+    def factory(rng, requested):
+        if len(requested) >= 5:
+            return None
+        gen = OperationIdGenerator("alice", start=len(requested))
+        operator = rng.choice([CounterType.increment(), CounterType.add(2), CounterType.read()])
+        prev = []
+        if requested and rng.random() < 0.5:
+            prev = [rng.choice(sorted(requested, key=repr)).id]
+        return make_operation(operator, gen.fresh(), prev=prev, strict=rng.random() < 0.3)
+
+    spec = spec_class(CounterType())
+    users = Users(factory)
+    composition = Composition([spec, users], name="spec x users")
+    checker = SpecInvariantChecker(spec)
+    scheduler = RandomScheduler(composition, seed=seed, invariant=lambda _a: checker.check_all())
+    scheduler.run(steps=80)
+    assert len(scheduler.execution) > 0
