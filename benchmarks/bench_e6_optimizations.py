@@ -12,7 +12,7 @@ import pytest
 
 from repro.algorithm.commute import CommuteReplicaCore
 from repro.algorithm.memoized import MemoizedReplicaCore
-from repro.algorithm.replica import ReplicaCore
+from repro.algorithm.replica import IncrementalReplicaCore, ReplicaCore
 from repro.datatypes import GSetType
 from repro.sim.cluster import SimulatedCluster, SimulationParams
 from repro.sim.workload import WorkloadSpec, run_workload
@@ -51,6 +51,7 @@ def run_variant(factory, seed: int = 0):
 def test_e6_memoization_and_commutativity_cut_recomputation(benchmark):
     variants = [
         ("abstract (ESDS-Alg)", ReplicaCore),
+        ("incremental replay", IncrementalReplicaCore),
         ("memoized (ESDS-Alg')", MemoizedReplicaCore),
         ("commute (Fig. 11)", CommuteReplicaCore),
     ]
@@ -73,6 +74,7 @@ def test_e6_memoization_and_commutativity_cut_recomputation(benchmark):
     )
 
     plain = outcomes["abstract (ESDS-Alg)"]
+    incremental = outcomes["incremental replay"]
     memo = outcomes["memoized (ESDS-Alg')"]
     commute = outcomes["commute (Fig. 11)"]
 
@@ -80,6 +82,10 @@ def test_e6_memoization_and_commutativity_cut_recomputation(benchmark):
     # Commute replica performs no response-time replay at all.
     assert memo["value_applications"] < 0.5 * plain["value_applications"]
     assert commute["value_applications"] == 0
+    # The incremental replay cache replays only changed suffixes and returns
+    # the exact same values as the from-scratch path.
+    assert incremental["value_applications"] < 0.5 * plain["value_applications"]
+    assert incremental["values"] == plain["values"]
     # Even counting the bookkeeping applications (memoize / current-state
     # updates), both optimizations do less total work than the abstract replica.
     assert memo["total_applications"] < plain["total_applications"]

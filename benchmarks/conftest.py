@@ -1,13 +1,14 @@
 """Shared helpers for the benchmark harness.
 
 Every benchmark regenerates one of the paper's quantitative results (see
-DESIGN.md's experiment index and EXPERIMENTS.md for paper-vs-measured).  Each
-module prints the table/series the paper reports and also exposes a
+docs/benchmarks.md for the experiment index and how to read the output).
+Each module prints the table/series the paper reports and also exposes a
 ``pytest-benchmark`` measurement of one representative configuration, so
 
-    pytest benchmarks/ --benchmark-only
+    cd benchmarks && PYTHONPATH=../src python -m pytest -s --benchmark-only
 
-produces both the reproduction tables (on stdout) and wall-clock timings.
+produces both the reproduction tables (on stdout) and wall-clock timings
+(the local ``pytest.ini`` widens collection to the ``bench_*.py`` modules).
 """
 
 from __future__ import annotations

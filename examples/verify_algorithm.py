@@ -48,8 +48,15 @@ def main(seed: int = 2026) -> None:
                 break
             invariants.check_all()
 
-    while lockstep.random_step(rng) is not None:
+    # ``send_gossip`` is always enabled, so "run until no action is enabled"
+    # would never terminate; run until every request is answered instead
+    # (with a generous step cap as a safety net).
+    steps = 0
+    while len(system.trace.responses) < len(history) and steps < 5000:
+        if lockstep.random_step(rng) is None:
+            break
         invariants.check_all()
+        steps += 1
 
     print(f"  {lockstep.concrete_steps} algorithm steps matched by "
           f"{lockstep.abstract_steps} ESDS-II steps")

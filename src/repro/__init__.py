@@ -59,6 +59,7 @@ from repro.algorithm import (
     CommuteReplicaCore,
     FrontEndCore,
     GossipMessage,
+    IncrementalReplicaCore,
     Label,
     MemoizedReplicaCore,
     ReplicaCore,
@@ -126,6 +127,7 @@ __all__ = [
     # algorithm
     "Label",
     "ReplicaCore",
+    "IncrementalReplicaCore",
     "MemoizedReplicaCore",
     "CommuteReplicaCore",
     "FrontEndCore",

@@ -16,7 +16,11 @@ Modules:
 * :mod:`repro.algorithm.channel` — reliable non-FIFO channels plus the lossy
   / duplicating variants used in the fault-tolerance discussion (Section 9.3);
 * :mod:`repro.algorithm.frontend` — the per-client front end (Section 6.2);
-* :mod:`repro.algorithm.replica` — the replica state machine (Section 6.3);
+* :mod:`repro.algorithm.replica` — the replica state machine (Section 6.3),
+  including destination-specific delta gossip and the incremental
+  value-replay cache;
+* :mod:`repro.algorithm.delta` — per-peer seqno/ack/epoch bookkeeping for
+  delta gossip (an ack-based, crash-safe form of Section 10.4);
 * :mod:`repro.algorithm.memoized` — the memoizing replica ESDS-Alg'
   (Section 10.1);
 * :mod:`repro.algorithm.commute` — the ``Commute`` replica exploiting
@@ -28,10 +32,11 @@ Modules:
 """
 
 from repro.algorithm.labels import Label, LabelGenerator, label_sort_key
+from repro.algorithm.delta import GossipSnapshot, PeerInState, PeerOutState
 from repro.algorithm.messages import GossipMessage, RequestMessage, ResponseMessage
 from repro.algorithm.channel import Channel, LossyChannel
 from repro.algorithm.frontend import FrontEndCore
-from repro.algorithm.replica import ReplicaCore
+from repro.algorithm.replica import IncrementalReplicaCore, ReplicaCore
 from repro.algorithm.memoized import MemoizedReplicaCore
 from repro.algorithm.commute import CommuteReplicaCore
 from repro.algorithm.system import AlgorithmSystem
@@ -42,12 +47,16 @@ __all__ = [
     "LabelGenerator",
     "label_sort_key",
     "GossipMessage",
+    "GossipSnapshot",
+    "PeerInState",
+    "PeerOutState",
     "RequestMessage",
     "ResponseMessage",
     "Channel",
     "LossyChannel",
     "FrontEndCore",
     "ReplicaCore",
+    "IncrementalReplicaCore",
     "MemoizedReplicaCore",
     "CommuteReplicaCore",
     "AlgorithmSystem",

@@ -25,12 +25,20 @@ class Channel(Generic[M]):
         self.source = source
         self.destination = destination
         self._in_transit: List[M] = []
+        #: Accumulated wire payload (``size_estimate()``) of sent messages
+        #: that expose one — gossip messages do.  Used by the delta-gossip
+        #: tests to compare full and delta payloads without involving the
+        #: simulator.
+        self.sent_payload = 0
 
     # -- automaton-style interface --------------------------------------------
 
     def send(self, message: M) -> None:
         """``send_ij(m)``: add *message* to the multiset."""
         self._in_transit.append(message)
+        size = getattr(message, "size_estimate", None)
+        if callable(size):
+            self.sent_payload += size()
 
     def receivable(self) -> List[M]:
         """Messages currently eligible for delivery (all of them)."""

@@ -10,13 +10,25 @@ Three message sets are used:
 
 Gossip label functions are represented sparsely: identifiers absent from
 ``labels`` implicitly map to ``INFINITY`` ("no label seen").
+
+A gossip message may be *full* (the paper's message: the sender's entire
+knowledge) or a *delta* (the Section 10.4 optimization): only the part of the
+sender's knowledge not already acknowledged by the destination, plus the
+``epoch``/``seqno``/``ack`` bookkeeping described in
+:mod:`repro.algorithm.delta`.  A delta message also keeps a (non-transmitted)
+reference to the acknowledged ``basis`` snapshot it was computed against, so
+that the invariant checkers and the derived ``mc_r(m)`` constraints can be
+evaluated on the *effective* message ``delta ∪ basis`` — the knowledge the
+message actually conveys, which the receiver reconstructs for free because it
+already holds the basis.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, FrozenSet, Mapping
+from typing import Any, Dict, FrozenSet, Mapping, Optional
 
+from repro.algorithm.delta import GossipSnapshot
 from repro.algorithm.labels import Label, LabelOrInfinity
 from repro.common import INFINITY, OperationId
 from repro.core.operations import OperationDescriptor
@@ -51,6 +63,25 @@ class GossipMessage:
 
     ``sender`` is recorded for routing and for the per-sender bookkeeping the
     receiving replica performs (``done_r[r']``, ``stable_r[r']``).
+
+    The remaining fields support delta gossip and are absent (``None`` /
+    ``False``) on the paper's plain full-state messages:
+
+    * ``epoch`` — the sender's incarnation number (bumped on a crash with
+      volatile memory; kept in stable storage);
+    * ``stream`` / ``seqno`` — per-destination stream id and send sequence
+      number within it (the stream restarts when the sender abandons it,
+      e.g. after observing the destination's crash);
+    * ``ack`` / ``ack_epoch`` / ``ack_stream`` — cumulative acknowledgement
+      of the destination's own gossip: every message ``1..ack`` of the
+      destination's incarnation ``ack_epoch``, stream ``ack_stream``, has
+      been received (or was subsumed by a received full-state message);
+    * ``is_delta`` — whether ``received``/``done``/``labels``/``stable`` hold
+      only the difference against the acknowledged ``basis``;
+    * ``basis`` — sender-side reference to the acknowledged snapshot the
+      delta was computed against.  It is **not** part of the wire payload
+      (the receiver provably already holds it); it exists so invariants and
+      message constraints can be checked against the effective knowledge.
     """
 
     sender: str
@@ -58,28 +89,80 @@ class GossipMessage:
     done: FrozenSet[OperationDescriptor]
     labels: Dict[OperationId, Label] = field(default_factory=dict)
     stable: FrozenSet[OperationDescriptor] = field(default_factory=frozenset)
+    epoch: int = 0
+    stream: int = 0
+    seqno: Optional[int] = None
+    ack: Optional[int] = None
+    ack_epoch: Optional[int] = None
+    ack_stream: Optional[int] = None
+    is_delta: bool = False
+    basis: Optional[GossipSnapshot] = None
 
     @property
     def kind(self) -> str:
         return "gossip"
 
     def label_of(self, op_id: OperationId) -> LabelOrInfinity:
-        """``L_m(id)`` with the sparse-infinity convention."""
-        return self.labels.get(op_id, INFINITY)
+        """``L_m(id)`` with the sparse-infinity convention.
+
+        For a delta message this is the *effective* label: the delta's entry
+        when present (it is never larger than the basis's), otherwise the
+        basis's entry — i.e. exactly the label a full message sent at the
+        same instant would have carried.
+        """
+        label = self.labels.get(op_id)
+        if label is not None:
+            return label
+        if self.basis is not None:
+            return self.basis.labels.get(op_id, INFINITY)
+        return INFINITY
+
+    # -- effective (delta ∪ basis) views --------------------------------------
+
+    def effective_received(self) -> FrozenSet[OperationDescriptor]:
+        """``R`` of the equivalent full message."""
+        if self.basis is None:
+            return self.received
+        return self.received | self.basis.received
+
+    def effective_done(self) -> FrozenSet[OperationDescriptor]:
+        """``D`` of the equivalent full message."""
+        if self.basis is None:
+            return self.done
+        return self.done | self.basis.done
+
+    def effective_stable(self) -> FrozenSet[OperationDescriptor]:
+        """``S`` of the equivalent full message."""
+        if self.basis is None:
+            return self.stable
+        return self.stable | self.basis.stable
+
+    def effective_labels(self) -> Dict[OperationId, Label]:
+        """``L`` of the equivalent full message (basis overridden by delta)."""
+        if self.basis is None:
+            return dict(self.labels)
+        merged = dict(self.basis.labels)
+        merged.update(self.labels)
+        return merged
 
     def size_estimate(self) -> int:
-        """A crude size metric (number of operation references carried),
-        used by the message-overhead benchmark (E8)."""
+        """A crude wire-size metric (number of operation references carried),
+        used by the message-overhead benchmark (E8).  Counts only transmitted
+        fields — a delta's basis is never transmitted."""
         return len(self.received) + len(self.done) + len(self.labels) + len(self.stable)
 
 
 def incremental_gossip(previous: GossipMessage, current: GossipMessage) -> GossipMessage:
-    """The Section 10.4 optimization: send only what changed since the last
-    gossip to the same destination (valid over reliable FIFO channels).
+    """The textbook form of the Section 10.4 optimization: send only what
+    changed since the last gossip to the same destination (valid over
+    reliable FIFO channels).
 
     The receiver must union rather than replace, which
     :meth:`repro.algorithm.replica.ReplicaCore.receive_gossip` already does,
-    so incremental messages are drop-in compatible.
+    so incremental messages are drop-in compatible.  The production path in
+    :meth:`repro.algorithm.replica.ReplicaCore.make_gossip` instead computes
+    deltas against *acknowledged* state (see :mod:`repro.algorithm.delta`),
+    which stays correct over the paper's reorderable, lossy channels.
     """
     return GossipMessage(
         sender=current.sender,
@@ -91,4 +174,5 @@ def incremental_gossip(previous: GossipMessage, current: GossipMessage) -> Gossi
             if previous.labels.get(op_id) != label
         },
         stable=current.stable - previous.stable,
+        is_delta=True,
     )

@@ -13,9 +13,25 @@ Each replica keeps:
 
 The local constraints ``lc_r`` order identifiers by label; they totally order
 ``done[r]`` (Invariant 7.15), so the value returned for an operation is
-computed by replaying ``done[r]`` in label order (the base class recomputes
-from scratch; :class:`repro.algorithm.memoized.MemoizedReplicaCore` memoizes
-the solid prefix as in Section 10.1).
+computed by replaying ``done[r]`` in label order.  Three value-computation
+paths exist:
+
+* the base path recomputes from scratch on every response (the paper's
+  unoptimized ``send_rc``);
+* with :meth:`ReplicaCore.enable_incremental_replay` (or the
+  :class:`IncrementalReplicaCore` factory) the replica checkpoints its last
+  replay and re-applies only the suffix that changed — labels merged via
+  gossip can reorder the unstable tail, which the checkpoint comparison
+  detects position by position;
+* :class:`repro.algorithm.memoized.MemoizedReplicaCore` is the paper's own
+  Section 10.1 variant, memoizing the *solid* prefix whose order can never
+  change again.
+
+Gossip likewise has two paths: the paper's full-state ``send_rr'`` (the
+default), and delta gossip (:meth:`ReplicaCore.configure_delta_gossip`), in
+which each message carries only the knowledge the destination has not yet
+acknowledged — see :mod:`repro.algorithm.delta` for the seqno/ack/epoch
+machinery and the argument that the two induce identical executions.
 """
 
 from __future__ import annotations
@@ -23,6 +39,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
+from repro.algorithm.delta import GossipSnapshot, PeerInState, PeerOutState
 from repro.algorithm.labels import Label, LabelGenerator, LabelOrInfinity, label_min, label_sort_key
 from repro.algorithm.messages import GossipMessage, RequestMessage, ResponseMessage
 from repro.common import INFINITY, ConfigurationError, OperationId, SpecificationError
@@ -84,7 +101,55 @@ class ReplicaCore:
         #: Labels this replica generated locally; kept across a crash with
         #: volatile memory (the "stable storage" of Section 9.3).
         self._stable_storage: Dict[OperationId, Label] = {}
+        #: Incarnation number, also kept in stable storage: bumped on every
+        #: crash with volatile memory so peers can tell that acknowledgements
+        #: issued before the crash are void.
+        self._epoch: int = 0
+
+        #: Delta-gossip configuration and per-peer bookkeeping (volatile).
+        self.delta_gossip: bool = False
+        self.full_state_interval: int = 8
+        self._peer_out: Dict[str, PeerOutState] = {}
+        self._peer_in: Dict[str, PeerInState] = {}
+        #: Monotone counter bumped on every state mutation, so make_gossip
+        #: can reuse the previous payload snapshot when nothing changed
+        #: (idle gossip ticks dominate long runs).
+        self._state_version: int = 0
+        self._snapshot_cache: Optional[Tuple[int, GossipSnapshot]] = None
+
+        #: Incremental-replay cache (volatile): the label order, per-position
+        #: post-states and values of the last response replay.
+        self._incremental_replay: bool = False
+        self._replay_order: List[Tuple[Tuple, OperationId]] = []
+        self._replay_states: List[Any] = []
+        self._replay_values: Dict[OperationId, Any] = {}
+
         self.stats = ReplicaStats()
+
+    # ------------------------------------------------------------ configuration
+
+    def configure_delta_gossip(self, enabled: bool = True, full_state_interval: int = 8) -> None:
+        """Switch destination-specific delta gossip on or off.
+
+        ``full_state_interval`` is the periodic full-state fallback: every
+        that-many sends to a peer, a full message is sent even when a delta
+        basis is available, bounding how long a peer that silently lost state
+        can stay behind.
+        """
+        if full_state_interval < 1:
+            raise ConfigurationError("full_state_interval must be at least 1")
+        self.delta_gossip = enabled
+        self.full_state_interval = full_state_interval
+
+    def enable_incremental_replay(self, enabled: bool = True) -> None:
+        """Switch the incremental value-replay cache on or off.
+
+        The cache changes no observable value — only how many operator
+        applications :meth:`compute_value` performs.
+        """
+        self._incremental_replay = enabled
+        if not enabled:
+            self._reset_replay_cache()
 
     # ------------------------------------------------------------------ labels
 
@@ -123,6 +188,7 @@ class ReplicaCore:
         operation = message.operation
         self.pending.add(operation)
         self.rcvd.add(operation)
+        self._state_version += 1
 
     def can_do(self, operation: OperationDescriptor) -> bool:
         """Precondition of ``do_it_r(x, l)``: received, not yet done here, and
@@ -161,6 +227,7 @@ class ReplicaCore:
         self.done_here().add(operation)
         self.labels[operation.id] = label
         self._stable_storage[operation.id] = label
+        self._state_version += 1
         self.stats.do_it_count += 1
         return label
 
@@ -205,11 +272,20 @@ class ReplicaCore:
     def compute_value(self, operation: OperationDescriptor) -> Any:
         """``v in valset(x, done_r[r], <_lc_r)`` — by Invariant 7.15 the local
         constraints totally order ``done_r[r]``, so the value is unique and is
-        obtained by replaying the done operations in label order."""
+        obtained by replaying the done operations in label order.
+
+        By default the replay starts from the initial state every time (the
+        paper's unoptimized path); with incremental replay enabled, the
+        longest prefix of the current label order that matches the previous
+        replay is reused from its checkpoint and only the changed suffix is
+        re-applied.
+        """
         if operation not in self.done_here():
             raise SpecificationError(
                 f"cannot compute a value for {operation.id}: not done at {self.replica_id}"
             )
+        if self._incremental_replay:
+            return self._compute_value_incremental(operation)
         state = self.data_type.initial_state()
         value: Any = None
         for x in self.done_order():
@@ -218,6 +294,48 @@ class ReplicaCore:
             if x.id == operation.id:
                 value = reported
         return value
+
+    def _compute_value_incremental(self, operation: OperationDescriptor) -> Any:
+        """Replay only the suffix of the label order that changed since the
+        last replay.
+
+        The cache keys each position on ``(label sort key, id)``: a gossip
+        merge that lowers an operation's label (reordering the unstable tail)
+        changes the key at the first affected position, invalidating exactly
+        the checkpoints from there on.
+        """
+        order = self.done_order()
+        keys = [(label_sort_key(self.label_of(x.id)), x.id) for x in order]
+
+        prefix = 0
+        limit = min(len(keys), len(self._replay_order))
+        while prefix < limit and keys[prefix] == self._replay_order[prefix]:
+            prefix += 1
+
+        if prefix == len(keys) and operation.id in self._replay_values:
+            return self._replay_values[operation.id]
+
+        # Drop invalidated checkpoints (and the values computed beyond them).
+        del self._replay_order[prefix:]
+        del self._replay_states[prefix:]
+        retained = {op_id for _key, op_id in self._replay_order}
+        self._replay_values = {
+            op_id: v for op_id, v in self._replay_values.items() if op_id in retained
+        }
+
+        state = self._replay_states[prefix - 1] if prefix else self.data_type.initial_state()
+        for x in order[prefix:]:
+            state, reported = self.data_type.apply(state, x.op)
+            self.stats.value_applications += 1
+            self._replay_order.append((label_sort_key(self.label_of(x.id)), x.id))
+            self._replay_states.append(state)
+            self._replay_values[x.id] = reported
+        return self._replay_values[operation.id]
+
+    def _reset_replay_cache(self) -> None:
+        self._replay_order = []
+        self._replay_states = []
+        self._replay_values = {}
 
     def make_response(self, operation: OperationDescriptor) -> ResponseMessage:
         """``send_rc(("response", x, v))``: compute the value, drop the
@@ -233,21 +351,101 @@ class ReplicaCore:
 
     # -------------------------------------------------------------- gossip path
 
-    def make_gossip(self) -> GossipMessage:
-        """``send_rr'(("gossip", R, D, L, S))`` — the payload is the replica's
-        current received/done/label/stable knowledge."""
+    def make_gossip(self, destination: Optional[str] = None) -> GossipMessage:
+        """``send_rr'(("gossip", R, D, L, S))``.
+
+        Without a *destination* (or with delta gossip disabled) the payload is
+        the replica's full current received/done/label/stable knowledge, as in
+        Fig. 7.  With delta gossip enabled and a destination given, the
+        payload carries only what the destination has not acknowledged — see
+        :mod:`repro.algorithm.delta`.
+        """
         self.stats.gossip_sent += 1
+        if not self.delta_gossip or destination is None:
+            return GossipMessage(
+                sender=self.replica_id,
+                received=frozenset(self.rcvd),
+                done=frozenset(self.done_here()),
+                labels=dict(self.labels),
+                stable=frozenset(self.stable_here()),
+                epoch=self._epoch,
+            )
+        if destination == self.replica_id:
+            raise SpecificationError("a replica does not gossip with itself")
+        if destination not in self.done:
+            raise SpecificationError(f"gossip to unknown replica {destination!r}")
+
+        out = self._peer_out.setdefault(destination, PeerOutState())
+        snapshot = self._payload_snapshot()
+        seqno = out.next_seqno
+        out.next_seqno += 1
+        out.record_send(seqno, snapshot)
+
+        basis = out.basis
+        send_full = basis is None or out.sends_since_full + 1 >= self.full_state_interval
+        ack_state = self._peer_in.get(destination)
+        acks = dict(
+            ack=ack_state.frontier if ack_state is not None else 0,
+            ack_epoch=ack_state.epoch if ack_state is not None else 0,
+            ack_stream=ack_state.stream if ack_state is not None else 0,
+        )
+        if send_full:
+            out.sends_since_full = 0
+            return GossipMessage(
+                sender=self.replica_id,
+                received=snapshot.received,
+                done=snapshot.done,
+                labels=dict(snapshot.labels),
+                stable=snapshot.stable,
+                epoch=self._epoch,
+                stream=out.stream,
+                seqno=seqno,
+                **acks,
+            )
+        out.sends_since_full += 1
         return GossipMessage(
             sender=self.replica_id,
+            received=snapshot.received - basis.received,
+            done=snapshot.done - basis.done,
+            labels={
+                op_id: label
+                for op_id, label in snapshot.labels.items()
+                if basis.labels.get(op_id) != label
+            },
+            stable=snapshot.stable - basis.stable,
+            epoch=self._epoch,
+            stream=out.stream,
+            seqno=seqno,
+            **acks,
+            is_delta=True,
+            basis=basis,
+        )
+
+    def _payload_snapshot(self) -> GossipSnapshot:
+        """The current ``(R, D, L, S)`` payload, reusing the previous
+        immutable snapshot when no state mutation happened since — in steady
+        state every gossip tick sends the same (empty-delta) payload, so the
+        copies would otherwise dominate the cost the deltas save."""
+        if self._snapshot_cache is not None and self._snapshot_cache[0] == self._state_version:
+            return self._snapshot_cache[1]
+        snapshot = GossipSnapshot(
             received=frozenset(self.rcvd),
             done=frozenset(self.done_here()),
             labels=dict(self.labels),
             stable=frozenset(self.stable_here()),
         )
+        self._snapshot_cache = (self._state_version, snapshot)
+        return snapshot
 
     def receive_gossip(self, message: GossipMessage) -> None:
         """``receive_r'r(("gossip", R, D, L, S))`` — merge the sender's
-        knowledge into ours (Fig. 7)."""
+        knowledge into ours (Fig. 7).
+
+        The merge is a union/minimum either way, so full and delta messages
+        go through the same effect; a delta merge simply touches fewer
+        elements.  Delta bookkeeping (seqno frontier, acks, epochs) is
+        updated afterwards.
+        """
         sender = message.sender
         if sender == self.replica_id:
             raise SpecificationError("a replica does not gossip with itself")
@@ -271,7 +469,27 @@ class ReplicaCore:
         self.stable[sender] |= message.stable
         self.stable[self.replica_id] |= message.stable
         self._promote_stable()
+        self._state_version += 1
+        self._record_gossip_bookkeeping(message)
         self.stats.gossip_received += 1
+
+    def _record_gossip_bookkeeping(self, message: GossipMessage) -> None:
+        """Advance the delta-gossip seqno/ack/epoch state for one receipt."""
+        sender = message.sender
+        in_state = self._peer_in.setdefault(sender, PeerInState(epoch=message.epoch))
+        if message.epoch > in_state.epoch:
+            # The sender restarted: its seqno streams start over and every
+            # acknowledgement it issued before the crash is void.
+            in_state.reset(message.epoch)
+            self._peer_out.setdefault(sender, PeerOutState()).reset()
+        if message.seqno is not None and message.epoch == in_state.epoch:
+            in_state.record_receipt(message.stream, message.seqno,
+                                    is_full=not message.is_delta)
+        out = self._peer_out.setdefault(sender, PeerOutState())
+        if (message.ack is not None
+                and message.ack_epoch == self._epoch
+                and message.ack_stream == out.stream):
+            out.apply_ack(message.ack)
 
     def _promote_stable(self) -> None:
         """``stable_r[r] <- stable_r[r] u ⋂_i done_r[i]`` — operations this
@@ -284,8 +502,9 @@ class ReplicaCore:
     def crash(self, volatile_memory: bool = True) -> None:
         """Simulate a crash.  With non-volatile memory nothing is lost (a
         crash is indistinguishable from message delay); with volatile memory
-        everything except the locally generated labels (kept in stable
-        storage) is discarded."""
+        everything except the stable storage — the locally generated labels
+        and the incarnation epoch — is discarded, including all delta-gossip
+        bookkeeping and the replay cache."""
         if not volatile_memory:
             return
         self.pending = set()
@@ -293,17 +512,26 @@ class ReplicaCore:
         self.done = {i: set() for i in self.replica_ids}
         self.stable = {i: set() for i in self.replica_ids}
         self.labels = {}
+        self._epoch += 1
+        self._peer_out = {}
+        self._peer_in = {}
+        self._state_version += 1
+        self._snapshot_cache = None
+        self._reset_replay_cache()
 
     def recover_from_stable_storage(self) -> None:
         """Reload the locally generated labels after a crash with volatile
         memory.  The key property (Section 9.3) is that after recovery the
         replica's label for each operation is no greater than the label it had
         before the crash; restoring the locally generated labels guarantees
-        this, and gossip fills in everything else."""
+        this, and gossip fills in everything else (peers fall back to
+        full-state gossip once they observe the bumped epoch, or at the
+        latest after ``full_state_interval`` sends)."""
         for op_id, label in self._stable_storage.items():
             merged = label_min(self.label_of(op_id), label)
             if merged is not INFINITY:
                 self.labels[op_id] = merged
+        self._state_version += 1
 
     # ----------------------------------------------------------------- snapshot
 
@@ -324,3 +552,16 @@ class ReplicaCore:
             f"Replica({self.replica_id}, done={len(self.done_here())}, "
             f"stable={len(self.stable_here())}, pending={len(self.pending)})"
         )
+
+
+class IncrementalReplicaCore(ReplicaCore):
+    """A base replica with the incremental value-replay cache switched on.
+
+    Usable anywhere a replica factory is accepted (``AlgorithmSystem``,
+    ``SimulatedCluster``); externally indistinguishable from
+    :class:`ReplicaCore` except for ``stats.value_applications``.
+    """
+
+    def __init__(self, replica_id: str, replica_ids: Sequence[str], data_type: SerialDataType) -> None:
+        super().__init__(replica_id, replica_ids, data_type)
+        self.enable_incremental_replay()

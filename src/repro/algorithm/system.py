@@ -60,6 +60,18 @@ class AlgorithmSystem:
     users:
         Optional pre-built :class:`~repro.spec.users.Users` automaton (e.g. a
         ``SafeUsers`` when using the ``Commute`` replicas).
+    delta_gossip:
+        When true, ``send_gossip`` transmits destination-specific deltas
+        (only knowledge the destination has not acknowledged) instead of the
+        replica's full state; see :mod:`repro.algorithm.delta`.  Delta and
+        full gossip induce identical executions under the same scheduler.
+    full_state_interval:
+        Periodic full-state fallback when delta gossip is enabled: every
+        that-many sends to a peer carry the full state.
+    incremental_replay:
+        When true, replicas cache their last response replay and re-apply
+        only the changed suffix when computing values (observable values are
+        unchanged; only ``stats.value_applications`` drops).
     """
 
     def __init__(
@@ -69,6 +81,9 @@ class AlgorithmSystem:
         client_ids: Sequence[str],
         replica_factory: Optional[ReplicaFactory] = None,
         users: Optional[Users] = None,
+        delta_gossip: bool = False,
+        full_state_interval: int = 8,
+        incremental_replay: bool = False,
     ) -> None:
         if len(set(replica_ids)) < 2:
             raise ConfigurationError("the algorithm assumes at least two replicas")
@@ -86,6 +101,11 @@ class AlgorithmSystem:
         self.replicas: Dict[str, ReplicaCore] = {
             r: factory(r, self.replica_ids, data_type) for r in self.replica_ids
         }
+        for core in self.replicas.values():
+            if delta_gossip:
+                core.configure_delta_gossip(True, full_state_interval)
+            if incremental_replay:
+                core.enable_incremental_replay()
 
         self.request_channels: Dict[Tuple[str, str], Channel[RequestMessage]] = {
             (c, r): Channel(c, r) for c in self.client_ids for r in self.replica_ids
@@ -158,10 +178,12 @@ class AlgorithmSystem:
         return value
 
     def send_gossip(self, source: str, destination: str) -> GossipMessage:
-        """``send_rr'(("gossip", ...))``."""
+        """``send_rr'(("gossip", ...))`` — a full-state message by default, or
+        a destination-specific delta when the source replica has delta gossip
+        enabled."""
         if source == destination:
             raise SpecificationError("a replica does not gossip with itself")
-        message = self.replicas[source].make_gossip()
+        message = self.replicas[source].make_gossip(destination)
         self.gossip_channels[(source, destination)].send(message)
         return message
 

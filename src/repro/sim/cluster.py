@@ -78,6 +78,20 @@ class SimulationParams:
     #: every this-many time units (the repeated ``send_cr`` the paper allows,
     #: used to mask message loss and partitions).
     retransmit_interval: Optional[float] = None
+    #: Transmit destination-specific gossip deltas instead of full state
+    #: (Section 10.4, made ack-based; see :mod:`repro.algorithm.delta`).
+    delta_gossip: bool = False
+    #: With delta gossip, send a full-state message every this-many sends to
+    #: a peer (the crash-recovery fallback).
+    full_state_interval: int = 8
+    #: Replicas cache their last response replay and re-apply only the
+    #: changed suffix (values are unchanged; replay work drops).
+    incremental_replay: bool = False
+    #: Fast path: buffer gossip messages arriving at a replica within the
+    #: same simulation instant and run the post-merge work (``do_it`` sweep,
+    #: responses, stabilization tracking) once per instant instead of once
+    #: per message.
+    batch_gossip: bool = False
 
     def __post_init__(self) -> None:
         if self.request_fanout < 1:
@@ -86,6 +100,8 @@ class SimulationParams:
             raise ConfigurationError(f"unknown frontend policy {self.frontend_policy!r}")
         if self.gossip_period <= 0:
             raise ConfigurationError("gossip_period must be positive")
+        if self.full_state_interval < 1:
+            raise ConfigurationError("full_state_interval must be at least 1")
 
 
 class SimulatedCluster:
@@ -122,6 +138,11 @@ class SimulatedCluster:
         self.replicas: Dict[str, ReplicaCore] = {
             rid: factory(rid, self.replica_ids, data_type) for rid in self.replica_ids
         }
+        for core in self.replicas.values():
+            if self.params.delta_gossip:
+                core.configure_delta_gossip(True, self.params.full_state_interval)
+            if self.params.incremental_replay:
+                core.enable_incremental_replay()
         self.client_ids: Tuple[str, ...] = tuple(client_ids)
         self.frontends: Dict[str, FrontEndCore] = {
             cid: FrontEndCore(cid) for cid in self.client_ids
@@ -145,6 +166,12 @@ class SimulatedCluster:
         }
         self._gossip_started = False
         self._unstable: Set[OperationId] = set()
+        #: Batched-gossip fast path: per-replica buffer of same-instant
+        #: arrivals and the instant a flush is already scheduled for.
+        self._gossip_inbox: Dict[str, List[GossipMessage]] = {
+            rid: [] for rid in self.replica_ids
+        }
+        self._gossip_flush_at: Dict[str, float] = {}
 
     # ===================================================================== #
     # Lifecycle                                                             #
@@ -364,15 +391,28 @@ class SimulatedCluster:
     def _send_gossip(self, source: str, destination: str) -> None:
         if source in self._crashed:
             return
-        message = self.replicas[source].make_gossip()
+        # Decide loss before building the message: a dropped send must not
+        # consume a delta-gossip seqno, or the receiver's cumulative-ack
+        # frontier would stall on the gap until the next full-state fallback.
         if self.network.should_drop("gossip", source, destination):
             return
+        message = self.replicas[source].make_gossip(destination)
         self.network.record_sent("gossip", payload_size=message.size_estimate())
         delay = self.network.delay_for("gossip", self.simulator.now)
         self.simulator.schedule(delay, lambda: self._deliver_gossip(destination, message))
 
     def _deliver_gossip(self, destination: str, message: GossipMessage) -> None:
         if destination in self._crashed:
+            return
+        if self.params.batch_gossip:
+            # Fast path: coalesce every arrival at this instant and process
+            # the batch once.  Same-instant events run FIFO, so the flush
+            # scheduled at zero delay runs after the remaining deliveries of
+            # this instant have been buffered.
+            self._gossip_inbox[destination].append(message)
+            if self._gossip_flush_at.get(destination) != self.simulator.now:
+                self._gossip_flush_at[destination] = self.simulator.now
+                self.simulator.schedule(0.0, lambda: self._flush_gossip(destination))
             return
         if self.params.gossip_processing_time > 0:
             start = max(self.simulator.now, self._replica_busy_until[destination])
@@ -385,15 +425,40 @@ class SimulatedCluster:
                 return
         self._process_gossip(destination, message)
 
-    def _process_gossip(self, destination: str, message: GossipMessage) -> None:
+    def _flush_gossip(self, destination: str) -> None:
+        """Merge every gossip message buffered for *destination*, then run the
+        post-merge work once for the whole batch."""
+        self._gossip_flush_at.pop(destination, None)
+        batch = self._gossip_inbox[destination]
+        self._gossip_inbox[destination] = []
+        if not batch or destination in self._crashed:
+            return
+        if self.params.gossip_processing_time > 0:
+            # The merge cost is still charged per message; only the
+            # post-merge sweep is amortized across the batch.
+            start = max(self.simulator.now, self._replica_busy_until[destination])
+            finish = start + self.params.gossip_processing_time * len(batch)
+            self._replica_busy_until[destination] = finish
+            if finish > self.simulator.now:
+                self.simulator.schedule_at(
+                    finish, lambda: self._process_gossip_batch(destination, batch)
+                )
+                return
+        self._process_gossip_batch(destination, batch)
+
+    def _process_gossip_batch(self, destination: str, batch: List[GossipMessage]) -> None:
         if destination in self._crashed:
             return
         core = self.replicas[destination]
-        core.receive_gossip(message)
+        for message in batch:
+            core.receive_gossip(message)
         core.do_all_ready()
         self._try_respond(destination)
         if self.params.track_stabilization:
             self._update_stabilization()
+
+    def _process_gossip(self, destination: str, message: GossipMessage) -> None:
+        self._process_gossip_batch(destination, [message])
 
     def _update_stabilization(self) -> None:
         if not self._unstable:

@@ -99,18 +99,22 @@ class AlgorithmInvariantChecker:
                 _fail("Invariant 7.2", f"stable_{r}[{r}] != ⋂_i done_{r}[i]")
 
     def invariant_7_3_gossip_not_ahead_of_sender(self) -> None:
+        # Delta messages are checked through their *effective* views
+        # (delta ∪ acknowledged basis) — the knowledge the message conveys,
+        # which is exactly what a full message sent at the same instant would
+        # have carried.
         for (src, dst), channel in self.system.gossip_channels.items():
             sender = self.system.replicas[src]
             for message in channel.contents():
-                if not message.received <= sender.rcvd:
+                if not message.effective_received() <= sender.rcvd:
                     _fail("Invariant 7.3", f"gossip {src}->{dst}: R not within rcvd_{src}")
-                if not message.done <= sender.done_here():
+                if not message.effective_done() <= sender.done_here():
                     _fail("Invariant 7.3", f"gossip {src}->{dst}: D not within done_{src}")
-                if not message.stable <= sender.stable_here():
+                if not message.effective_stable() <= sender.stable_here():
                     _fail("Invariant 7.3", f"gossip {src}->{dst}: S not within stable_{src}")
-                if not message.stable <= message.done:
+                if not message.effective_stable() <= message.effective_done():
                     _fail("Invariant 7.3", f"gossip {src}->{dst}: S not within D")
-                for op_id, label in message.labels.items():
+                for op_id, label in message.effective_labels().items():
                     if label_sort_key(sender.label_of(op_id)) > label_sort_key(label):
                         _fail(
                             "Invariant 7.3",
@@ -137,7 +141,7 @@ class AlgorithmInvariantChecker:
                 )
         for (src, dst), channel in self.system.gossip_channels.items():
             for message in channel.contents():
-                if {x.id for x in message.done} != set(message.labels):
+                if {x.id for x in message.effective_done()} != set(message.effective_labels()):
                     _fail("Invariant 7.5", f"gossip {src}->{dst}: D.id != labelled ids")
 
     def invariant_7_6_everything_was_requested(self) -> None:
@@ -242,7 +246,7 @@ class AlgorithmInvariantChecker:
                             )
             for (_src, _dst), channel in self.system.gossip_channels.items():
                 for message in channel.contents():
-                    for op_id, label in message.labels.items():
+                    for op_id, label in message.effective_labels().items():
                         if label.replica == r:
                             if label_sort_key(replica.label_of(op_id)) > label_sort_key(label):
                                 _fail(
