@@ -34,6 +34,7 @@ from repro.common import (
     EsdsError,
     INFINITY,
     InvariantViolation,
+    MetricsError,
     OperationId,
     OperationIdGenerator,
     SimulationRelationError,
@@ -71,15 +72,21 @@ from repro.verification import (
     check_system_trace,
 )
 from repro.sim import (
+    DelaySpike,
     FaultSchedule,
     GossipOutage,
+    KeyedWorkloadSpec,
     MetricsCollector,
+    PerShardMetrics,
     ReplicaCrash,
+    ShardedCluster,
     SimulatedCluster,
     SimulationParams,
     WorkloadSpec,
+    run_keyed_workload,
     run_workload,
 )
+from repro.service import KeyedStore, ShardRouter, ShardedFrontend
 from repro.baselines import (
     CentralizedAtomicService,
     LadinLazyReplicationService,
@@ -141,12 +148,22 @@ __all__ = [
     # simulation
     "SimulatedCluster",
     "SimulationParams",
+    "ShardedCluster",
     "WorkloadSpec",
+    "KeyedWorkloadSpec",
     "run_workload",
+    "run_keyed_workload",
     "MetricsCollector",
+    "PerShardMetrics",
     "FaultSchedule",
     "ReplicaCrash",
     "GossipOutage",
+    "DelaySpike",
+    # service layer
+    "KeyedStore",
+    "ShardRouter",
+    "ShardedFrontend",
+    "MetricsError",
     # baselines
     "CentralizedAtomicService",
     "PrimaryCopyService",

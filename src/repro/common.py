@@ -40,6 +40,11 @@ class ConfigurationError(EsdsError):
     """The system was configured inconsistently (e.g. fewer than 2 replicas)."""
 
 
+class MetricsError(EsdsError):
+    """A metric was requested that the collected data cannot support
+    (e.g. the mean latency of a run in which nothing completed)."""
+
+
 @dataclass(frozen=True, order=True)
 class OperationId:
     """Globally unique operation identifier.

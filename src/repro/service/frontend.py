@@ -1,0 +1,195 @@
+"""``ShardedFrontend`` — N independent ESDS replica groups behind one router.
+
+Each shard is a complete, unmodified
+:class:`~repro.algorithm.system.AlgorithmSystem` managing a
+:class:`~repro.service.keyed.KeyedStore` over the base data type; the
+frontend consistent-hashes every request's key to pick the shard and mints
+globally unique operation identifiers (one per-client counter shared across
+shards), so the union of the shard traces is a well-formed multi-object
+history.
+
+Client-specified constraints (``prev`` sets) are a *per-object* notion in the
+paper, and shards are independent objects: a ``prev`` edge must therefore
+stay within one shard.  Since the router maps equal keys to equal shards,
+per-key dependency chains (the session-guarantee pattern) always satisfy
+this; a cross-shard ``prev`` is rejected with :class:`ConfigurationError`
+rather than silently weakened.
+
+The frontend intentionally exposes the same driving surface as a single
+``AlgorithmSystem`` (``run_random``, ``drain``, invariant and trace checks),
+so every verification tool in :mod:`repro.verification` applies shard by
+shard.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.algorithm.system import AlgorithmSystem, ReplicaFactory
+from repro.common import OperationId
+from repro.core.operations import OperationDescriptor
+from repro.datatypes.base import Operator, SerialDataType
+from repro.service.keyed import KeyedStore
+from repro.service.router import KeyspaceDirectory, ShardRouter
+
+
+class ShardedFrontend:
+    """A keyed, sharded data service built from independent ESDS instances.
+
+    Parameters
+    ----------
+    base_type:
+        The serial data type stored under every key.
+    num_shards:
+        Number of independent replica groups (ignored when *router* given).
+    replicas_per_shard:
+        Replicas in each group (the algorithm requires at least two).
+    client_ids:
+        Clients; each shard hosts a front end for every client, and a
+        client's identifier counter is shared across shards so operation
+        identifiers stay globally unique.
+    delta_gossip / full_state_interval / incremental_replay:
+        Forwarded to every shard's :class:`AlgorithmSystem`.
+    """
+
+    def __init__(
+        self,
+        base_type: SerialDataType,
+        num_shards: int = 2,
+        replicas_per_shard: int = 3,
+        client_ids: Sequence[str] = ("c0",),
+        router: Optional[ShardRouter] = None,
+        replica_factory: Optional[ReplicaFactory] = None,
+        delta_gossip: bool = False,
+        full_state_interval: int = 8,
+        incremental_replay: bool = False,
+        virtual_nodes: int = 64,
+    ) -> None:
+        self.base_type = base_type
+        self.store_type = KeyedStore(base_type)
+        self.router = router or ShardRouter.for_count(num_shards, virtual_nodes=virtual_nodes)
+        self.shard_ids: Tuple[str, ...] = self.router.shard_ids
+        self.client_ids: Tuple[str, ...] = tuple(client_ids)
+        self.systems: Dict[str, AlgorithmSystem] = {
+            shard: AlgorithmSystem(
+                self.store_type,
+                [f"{shard}.r{i}" for i in range(replicas_per_shard)],
+                self.client_ids,
+                replica_factory=replica_factory,
+                delta_gossip=delta_gossip,
+                full_state_interval=full_state_interval,
+                incremental_replay=incremental_replay,
+            )
+            for shard in self.shard_ids
+        }
+        #: Shared routing/bookkeeping: unique identifiers, same-shard prev
+        #: validation, operation-to-shard/key records.
+        self.directory = KeyspaceDirectory(self.router, self.client_ids, base_type)
+
+    # -- routing ---------------------------------------------------------------
+
+    def shard_of(self, key: str) -> str:
+        """The shard identifier owning *key*."""
+        return self.router.shard_for(key)
+
+    def shard_of_operation(self, op_id: OperationId) -> str:
+        """The shard a previously requested operation was routed to."""
+        return self.directory.shard_of_operation(op_id)
+
+    def key_of_operation(self, op_id: OperationId) -> str:
+        """The key a previously requested operation addressed."""
+        return self.directory.key_of_operation(op_id)
+
+    def last_operation_on(self, key: str) -> Optional[OperationId]:
+        """The most recently requested operation on *key* (any client)."""
+        return self.directory.last_operation_on(key)
+
+    # -- client interface ------------------------------------------------------
+
+    def request(
+        self,
+        client: str,
+        key: str,
+        operator: Operator,
+        prev: Sequence[OperationId] = (),
+        strict: bool = False,
+    ) -> OperationDescriptor:
+        """Issue a keyed operation; returns the descriptor handed to the shard.
+
+        ``prev`` identifiers must belong to operations previously routed to
+        the *same* shard (always true for same-key dependencies).
+        """
+        shard, operation = self.directory.route(client, key, operator, prev, strict)
+        self.systems[shard].request(operation)
+        return operation
+
+    # -- scheduling ------------------------------------------------------------
+
+    def run_random(self, rng: random.Random, steps: int) -> int:
+        """Perform up to *steps* random actions, interleaving shards randomly.
+
+        Each step picks a shard uniformly and performs one of its enabled
+        actions; shards progress independently, exactly as independent
+        deployments would.
+        """
+        performed = 0
+        shard_list = list(self.shard_ids)
+        for _ in range(steps):
+            shard = rng.choice(shard_list)
+            if self.systems[shard].random_step(rng) is not None:
+                performed += 1
+        return performed
+
+    def drain(self, rng: random.Random) -> None:
+        """Deliver all traffic and gossip every shard to quiescence."""
+        for shard in self.shard_ids:
+            self.systems[shard].drain(rng)
+
+    # -- results ---------------------------------------------------------------
+
+    @property
+    def responded(self) -> Dict[OperationId, Any]:
+        """Every delivered response, across all shards."""
+        merged: Dict[OperationId, Any] = {}
+        for system in self.systems.values():
+            merged.update(system.users.responded)
+        return merged
+
+    def value_of(self, operation: OperationDescriptor) -> Any:
+        """The value returned for *operation* (KeyError when unanswered)."""
+        shard = self.directory.shard_of_operation(operation.id)
+        return self.systems[shard].users.responded[operation.id]
+
+    def outstanding_operations(self) -> int:
+        """Requested operations not yet answered, across all shards."""
+        total = 0
+        for system in self.systems.values():
+            total += len(system.users.requested) - len(system.users.responded)
+        return total
+
+    def eventual_orders(self) -> Dict[str, List[OperationId]]:
+        """Each shard's eventual total order (by system-wide minimum label)."""
+        return {shard: system.eventual_order() for shard, system in self.systems.items()}
+
+    # -- verification ----------------------------------------------------------
+
+    def check_invariants(self) -> None:
+        """Run the Section 7/8 invariant checker on every shard."""
+        from repro.verification.invariants import AlgorithmInvariantChecker
+
+        for system in self.systems.values():
+            AlgorithmInvariantChecker(system).check_all()
+
+    def check_traces(self, check_nonstrict: bool = False) -> None:
+        """Check the Theorem 5.7/5.8 guarantees on every shard's trace."""
+        from repro.verification.serializability import check_system_trace
+
+        for system in self.systems.values():
+            check_system_trace(system, check_nonstrict=check_nonstrict)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"ShardedFrontend({self.store_type.name}, shards={len(self.shard_ids)}, "
+            f"clients={len(self.client_ids)})"
+        )

@@ -1,0 +1,165 @@
+"""Consistent-hash routing of keys onto shards.
+
+The router is the only component that decides key placement, so it must be
+*deterministic across processes and runs*: Python's built-in ``hash`` for
+strings is randomized per process (``PYTHONHASHSEED``), so points on the ring
+are derived from MD5 digests instead (MD5 is used purely as a mixing
+function, not for security).
+
+A classic consistent-hash ring with virtual nodes is used rather than plain
+``hash(key) % n`` so that growing the shard fleet only moves ``~1/n`` of the
+keyspace — the property every production sharded store relies on for
+rebalancing, and the one :class:`TestRouterStability` pins down.
+
+:class:`KeyspaceDirectory` layers the service-level bookkeeping on top of
+the ring: globally unique operation identifiers (per-client counters shared
+across shards), the same-shard ``prev`` validation, and the
+operation-to-shard/key records both the algorithm-level and the simulated
+sharded frontends need.  Keeping it here means the two frontends cannot
+drift apart on the routing rules.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.common import ConfigurationError, OperationId, OperationIdGenerator
+from repro.core.operations import OperationDescriptor, make_operation
+from repro.datatypes.base import Operator, SerialDataType
+from repro.service.keyed import KeyedStore
+
+
+def stable_hash(text: str) -> int:
+    """A 64-bit hash of *text* that is stable across processes and runs."""
+    return int.from_bytes(hashlib.md5(text.encode("utf-8")).digest()[:8], "big")
+
+
+class ShardRouter:
+    """Maps string keys onto shard identifiers via a consistent-hash ring.
+
+    Parameters
+    ----------
+    shard_ids:
+        Identifiers of the shards (non-empty, unique).
+    virtual_nodes:
+        Ring points per shard; more points smooth the keyspace split at the
+        cost of a larger (still tiny) ring.
+    """
+
+    def __init__(self, shard_ids: Sequence[str], virtual_nodes: int = 64) -> None:
+        ids = tuple(shard_ids)
+        if not ids:
+            raise ConfigurationError("a router needs at least one shard")
+        if len(set(ids)) != len(ids):
+            raise ConfigurationError("shard identifiers must be unique")
+        if virtual_nodes < 1:
+            raise ConfigurationError("virtual_nodes must be at least 1")
+        self.shard_ids: Tuple[str, ...] = ids
+        self.virtual_nodes = virtual_nodes
+        ring: List[Tuple[int, str]] = []
+        for shard in ids:
+            for replica in range(virtual_nodes):
+                ring.append((stable_hash(f"{shard}#{replica}"), shard))
+        ring.sort()
+        self._ring = ring
+        self._points = [point for point, _shard in ring]
+
+    @classmethod
+    def for_count(cls, num_shards: int, prefix: str = "s", virtual_nodes: int = 64) -> "ShardRouter":
+        """A router over ``num_shards`` shards named ``s0 .. s{n-1}``."""
+        if num_shards < 1:
+            raise ConfigurationError("num_shards must be at least 1")
+        return cls([f"{prefix}{i}" for i in range(num_shards)], virtual_nodes)
+
+    # -- routing ---------------------------------------------------------------
+
+    def shard_for(self, key: str) -> str:
+        """The shard owning *key* (deterministic)."""
+        index = bisect.bisect_right(self._points, stable_hash(key)) % len(self._ring)
+        return self._ring[index][1]
+
+    def spread(self, keys: Iterable[str]) -> Dict[str, int]:
+        """How many of *keys* each shard owns (all shards present, 0 allowed)."""
+        counts: Dict[str, int] = {shard: 0 for shard in self.shard_ids}
+        for key in keys:
+            counts[self.shard_for(key)] += 1
+        return counts
+
+    def __len__(self) -> int:
+        return len(self.shard_ids)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"ShardRouter({list(self.shard_ids)}, virtual_nodes={self.virtual_nodes})"
+
+
+class KeyspaceDirectory:
+    """Routing plus operation bookkeeping shared by the sharded frontends.
+
+    Mints globally unique identifiers (one counter per client, shared across
+    shards), validates that ``prev`` constraints stay within one shard
+    (client-specified constraints are a per-object notion, and shards are
+    independent objects; equal keys always route to equal shards, so per-key
+    chains are always legal), and records which shard and key every
+    operation went to.
+    """
+
+    def __init__(
+        self,
+        router: ShardRouter,
+        client_ids: Sequence[str],
+        base_type: SerialDataType,
+    ) -> None:
+        self.router = router
+        self.base_type = base_type
+        self.id_generators: Dict[str, OperationIdGenerator] = {
+            c: OperationIdGenerator(c) for c in client_ids
+        }
+        self._shard_of_op: Dict[OperationId, str] = {}
+        self._key_of_op: Dict[OperationId, str] = {}
+        self._last_on_key: Dict[str, OperationId] = {}
+
+    def route(
+        self,
+        client: str,
+        key: str,
+        operator: Operator,
+        prev: Iterable[OperationId] = (),
+        strict: bool = False,
+    ) -> Tuple[str, OperationDescriptor]:
+        """Validate and build one keyed operation; returns ``(shard, op)``."""
+        if client not in self.id_generators:
+            raise ConfigurationError(f"unknown client {client!r}")
+        self.base_type.check_operator(operator)
+        shard = self.router.shard_for(key)
+        prev_ids = frozenset(prev)
+        for dep in prev_ids:
+            owner = self._shard_of_op.get(dep)
+            if owner is None:
+                raise ConfigurationError(
+                    f"prev references an operation never requested here: {dep}"
+                )
+            if owner != shard:
+                raise ConfigurationError(
+                    f"prev constraint {dep} crosses shards ({owner} -> {shard}); "
+                    f"client-specified constraints only hold within one shard"
+                )
+        operation = make_operation(
+            KeyedStore.at(key, operator), self.id_generators[client].fresh(), prev_ids, strict
+        )
+        self._shard_of_op[operation.id] = shard
+        self._key_of_op[operation.id] = key
+        self._last_on_key[key] = operation.id
+        return shard, operation
+
+    # -- lookups ---------------------------------------------------------------
+
+    def shard_of_operation(self, op_id: OperationId) -> str:
+        return self._shard_of_op[op_id]
+
+    def key_of_operation(self, op_id: OperationId) -> str:
+        return self._key_of_op[op_id]
+
+    def last_operation_on(self, key: str) -> Optional[OperationId]:
+        return self._last_on_key.get(key)

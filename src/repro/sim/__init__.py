@@ -21,10 +21,21 @@ that throughput saturation and scaling are observable.
 
 from repro.sim.events import EventQueue, Simulator
 from repro.sim.network import NetworkModel, SimulatedNetwork
-from repro.sim.metrics import LatencyRecord, MetricsCollector
+from repro.sim.metrics import LatencyRecord, MetricsCollector, PerShardMetrics
 from repro.sim.cluster import SimulatedCluster, SimulationParams
-from repro.sim.workload import ClientWorkload, WorkloadResult, WorkloadSpec, run_workload
-from repro.sim.faults import FaultSchedule, GossipOutage, ReplicaCrash
+from repro.sim.sharded import ShardedCluster
+from repro.sim.workload import (
+    ClientWorkload,
+    KeyedClientWorkload,
+    KeyedWorkloadResult,
+    KeyedWorkloadSpec,
+    WorkloadResult,
+    WorkloadSpec,
+    run_keyed_workload,
+    run_workload,
+    zipfian_cdf,
+)
+from repro.sim.faults import DelaySpike, FaultSchedule, GossipOutage, ReplicaCrash
 
 __all__ = [
     "EventQueue",
@@ -33,12 +44,20 @@ __all__ = [
     "SimulatedNetwork",
     "LatencyRecord",
     "MetricsCollector",
+    "PerShardMetrics",
     "SimulatedCluster",
     "SimulationParams",
+    "ShardedCluster",
     "ClientWorkload",
     "WorkloadResult",
     "WorkloadSpec",
     "run_workload",
+    "KeyedClientWorkload",
+    "KeyedWorkloadResult",
+    "KeyedWorkloadSpec",
+    "run_keyed_workload",
+    "zipfian_cdf",
+    "DelaySpike",
     "FaultSchedule",
     "GossipOutage",
     "ReplicaCrash",

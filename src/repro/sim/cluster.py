@@ -38,6 +38,25 @@ from repro.spec.guarantees import TraceRecord
 ReplicaFactory = Callable[[str, Sequence[str], SerialDataType], ReplicaCore]
 
 
+def drive_until(
+    simulator: Simulator,
+    is_done: Callable[[], bool],
+    max_time: float,
+    max_events: Optional[int] = None,
+) -> None:
+    """Step *simulator* until *is_done* holds, the queue drains, or the
+    time/event budget is exhausted — the one drive loop behind every
+    "run until answered" facade (single-cluster and sharded alike)."""
+    deadline = simulator.now + max_time
+    events = 0
+    while not is_done() and simulator.now < deadline:
+        if not simulator.step():
+            break
+        events += 1
+        if max_events is not None and events >= max_events:
+            break
+
+
 @dataclass
 class SimulationParams:
     """Timing and policy parameters of a simulated deployment.
@@ -115,13 +134,18 @@ class SimulatedCluster:
         params: Optional[SimulationParams] = None,
         replica_factory: Optional[ReplicaFactory] = None,
         seed: int = 0,
+        simulator: Optional[Simulator] = None,
+        rng: Optional[random.Random] = None,
     ) -> None:
         if num_replicas < 2:
             raise ConfigurationError("the algorithm assumes at least two replicas")
         self.data_type = data_type
         self.params = params or SimulationParams()
-        self.rng = random.Random(seed)
-        self.simulator = Simulator()
+        # A shared simulator (and optionally a shared or derived RNG) lets
+        # several clusters — the shards of a ShardedCluster — run on one
+        # seeded event loop.
+        self.rng = rng if rng is not None else random.Random(seed)
+        self.simulator = simulator if simulator is not None else Simulator()
         self.network = SimulatedNetwork(
             NetworkModel(
                 df=self.params.df,
@@ -158,6 +182,9 @@ class SimulatedCluster:
         self.requested: Dict[OperationId, OperationDescriptor] = {}
 
         self._crashed: Set[str] = set()
+        #: Submitted-but-unanswered operation identifiers (kept incrementally
+        #: in sync with ``requested`` / ``responded``).
+        self._unanswered: Set[OperationId] = set()
         self._replica_busy_until: Dict[str, float] = {rid: 0.0 for rid in self.replica_ids}
         self._round_robin_index = 0
         self._affinity: Dict[str, str] = {
@@ -205,19 +232,19 @@ class SimulatedCluster:
         budget is exhausted — e.g. when a replica stays crashed and strict
         operations cannot complete)."""
         self.start()
-        deadline = self.simulator.now + max_time
-        events = 0
-        while self.outstanding_operations() and self.simulator.now < deadline:
-            if not self.simulator.step():
-                break
-            events += 1
-            if events >= max_events:
-                break
+        drive_until(
+            self.simulator, lambda: not self.outstanding_operations(), max_time, max_events
+        )
         self.metrics.finished_at = self.simulator.now
 
     def outstanding_operations(self) -> int:
-        """Number of submitted operations that have not been answered yet."""
-        return len(set(self.requested) - set(self.responded))
+        """Number of submitted operations that have not been answered yet.
+
+        Tracked incrementally — ``run_until_idle`` consults this after every
+        event, so recomputing the set difference there would cost
+        O(events x operations).
+        """
+        return len(self._unanswered)
 
     # ===================================================================== #
     # Client interface                                                      #
@@ -231,6 +258,8 @@ class SimulatedCluster:
         strict: bool = False,
     ) -> OperationDescriptor:
         """Build a fresh, well-formed operation descriptor for *client*."""
+        if client not in self.id_generators:
+            raise ConfigurationError(f"unknown client {client!r}")
         self.data_type.check_operator(operator)
         prev_ids = frozenset(prev)
         unknown = prev_ids - set(self.requested)
@@ -249,11 +278,48 @@ class SimulatedCluster:
         at: Optional[float] = None,
     ) -> OperationDescriptor:
         """Submit an operation at simulation time *at* (default: now)."""
-        self.start()
         operation = self.make_operation(client, operator, prev, strict)
-        self.requested[operation.id] = operation
-        self._unstable.add(operation.id)
+        return self._schedule_operation(operation, at)
+
+    def submit_operation(
+        self, operation: OperationDescriptor, at: Optional[float] = None
+    ) -> OperationDescriptor:
+        """Submit a pre-built descriptor (used by the sharded service layer,
+        which mints identifiers itself so they stay unique across shards).
+
+        Validation lives here — :meth:`submit` goes through
+        :meth:`make_operation` instead, which performs the same checks while
+        constructing the descriptor.
+        """
+        client = operation.id.client
+        if client not in self.frontends:
+            raise ConfigurationError(f"unknown client {client!r}")
+        self.data_type.check_operator(operation.op)
+        if operation.id in self.requested:
+            raise ConfigurationError(f"operation identifier {operation.id} reused")
+        unknown = operation.prev - set(self.requested)
+        if unknown:
+            raise ConfigurationError(
+                f"prev references operations never requested: {sorted(map(str, unknown))}"
+            )
+        return self._schedule_operation(operation, at)
+
+    def _schedule_operation(
+        self, operation: OperationDescriptor, at: Optional[float]
+    ) -> OperationDescriptor:
+        self.start()
+        # Validate the submission time BEFORE touching any bookkeeping: a
+        # rejected submit must not leave a phantom operation behind in
+        # requested/_unanswered (it would count as outstanding forever).
         when = self.simulator.now if at is None else at
+        if when < self.simulator.now:
+            raise ConfigurationError(
+                f"cannot submit {operation.id} in the past "
+                f"(at={when}, now={self.simulator.now})"
+            )
+        self.requested[operation.id] = operation
+        self._unanswered.add(operation.id)
+        self._unstable.add(operation.id)
         self.simulator.schedule_at(when, lambda op=operation: self._on_request(op))
         return operation
 
@@ -267,10 +333,7 @@ class SimulatedCluster:
     ) -> Tuple[OperationDescriptor, Any]:
         """Synchronous facade: submit, run until answered, return the value."""
         operation = self.submit(client, operator, prev, strict)
-        deadline = self.simulator.now + max_time
-        while operation.id not in self.responded and self.simulator.now < deadline:
-            if not self.simulator.step():
-                break
+        drive_until(self.simulator, lambda: operation.id in self.responded, max_time)
         if operation.id not in self.responded:
             raise RuntimeError(
                 f"operation {operation.id} received no response within {max_time} time units"
@@ -372,6 +435,7 @@ class SimulatedCluster:
             return
         value = frontend.respond(message.operation)
         self.responded[message.operation.id] = value
+        self._unanswered.discard(message.operation.id)
         self.metrics.record_response(message.operation, value, self.simulator.now)
         self.trace.record_response(message.operation, value)
 
@@ -513,6 +577,46 @@ class SimulatedCluster:
             (op_id for op_id in self.requested if self.minlabel(op_id) is INFINITY), key=repr
         )
         return labelled + unlabelled
+
+    def algorithm_view(self) -> "AlgorithmSystem":
+        """An :class:`~repro.algorithm.system.AlgorithmSystem`-shaped view of
+        this cluster, for the Section 7/8 invariant checker and the trace
+        oracles.
+
+        The simulator keeps in-flight messages inside scheduled events rather
+        than explicit channels, so the view models every channel as empty —
+        it is faithful exactly when the network is quiet (after
+        :meth:`run_until_idle` plus enough gossip rounds for convergence),
+        which is when the scenario fuzzer samples it.
+        """
+        from repro.algorithm.system import AlgorithmSystem
+        from repro.spec.users import Users
+
+        view = AlgorithmSystem.__new__(AlgorithmSystem)
+        view.data_type = self.data_type
+        view.replica_ids = self.replica_ids
+        view.client_ids = self.client_ids
+        view.users = Users()
+        view.users.requested = set(self.requested.values())
+        view.users.responded = dict(self.responded)
+        view.frontends = self.frontends
+        view.replicas = self.replicas
+        view.request_channels = {}
+        view.response_channels = {}
+        view.gossip_channels = {}
+        view.trace = self.trace
+        return view
+
+    def fully_converged(self) -> bool:
+        """Has every requested operation become stable at every replica?
+
+        Used by tests to decide when the :meth:`algorithm_view` is faithful:
+        at convergence no gossip in transit can carry new information.
+        """
+        requested = set(self.requested.values())
+        return all(
+            requested <= replica.stable_here() for replica in self.replicas.values()
+        )
 
     def total_value_applications(self) -> int:
         """Total operator applications performed by replicas when computing

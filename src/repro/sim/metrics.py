@@ -6,7 +6,7 @@ import math
 from dataclasses import dataclass, field
 from typing import Any, Dict, Iterable, List, Optional
 
-from repro.common import OperationId
+from repro.common import MetricsError, OperationId
 from repro.core.operations import OperationDescriptor
 
 
@@ -147,3 +147,80 @@ class MetricsCollector:
             if request_time is not None:
                 values.append(stable_time - request_time)
         return LatencySummary.from_latencies(values)
+
+
+class PerShardMetrics:
+    """Aggregates the per-shard :class:`MetricsCollector` instances of a
+    sharded deployment into whole-service summaries plus per-shard
+    breakdowns (the load-balance view benchmark E9 reports)."""
+
+    def __init__(self, collectors: Dict[str, MetricsCollector]) -> None:
+        if not collectors:
+            raise ValueError("PerShardMetrics needs at least one collector")
+        self.collectors = dict(collectors)
+
+    # -- whole-service summaries ---------------------------------------------
+
+    @property
+    def completed(self) -> int:
+        """Completed operations across every shard."""
+        return sum(collector.completed for collector in self.collectors.values())
+
+    @property
+    def outstanding(self) -> int:
+        """Unanswered operations across every shard."""
+        return sum(collector.outstanding for collector in self.collectors.values())
+
+    def latency_summary(
+        self, *, shard: Optional[str] = None, category: Optional[str] = None
+    ) -> LatencySummary:
+        """Latency statistics over one shard or (default) all of them.
+
+        Keyword-only on purpose: the single-cluster ``latency_summary`` takes
+        a *category* first, so a positional string here would silently filter
+        the wrong axis.
+        """
+        if shard is not None and shard not in self.collectors:
+            raise MetricsError(
+                f"unknown shard {shard!r}; shards are {sorted(self.collectors)} "
+                f"(pass category=... to filter by operation class)"
+            )
+        collectors = (
+            [self.collectors[shard]] if shard is not None else list(self.collectors.values())
+        )
+        latencies = [
+            record.latency
+            for collector in collectors
+            for record in collector.records
+            if category is None or record.category == category
+        ]
+        return LatencySummary.from_latencies(latencies)
+
+    def throughput(self, duration: float) -> float:
+        """Total committed-ops throughput over *duration*."""
+        if duration <= 0:
+            return 0.0
+        return self.completed / duration
+
+    # -- per-shard breakdowns --------------------------------------------------
+
+    def completed_by_shard(self) -> Dict[str, int]:
+        return {sid: collector.completed for sid, collector in self.collectors.items()}
+
+    def throughput_by_shard(self, duration: float) -> Dict[str, float]:
+        if duration <= 0:
+            return {sid: 0.0 for sid in self.collectors}
+        return {
+            sid: collector.completed / duration
+            for sid, collector in self.collectors.items()
+        }
+
+    def imbalance(self) -> float:
+        """Peak-to-mean ratio of per-shard completed counts (1.0 = perfectly
+        balanced; rises with key skew).  0.0 when nothing completed."""
+        counts = list(self.completed_by_shard().values())
+        total = sum(counts)
+        if total == 0:
+            return 0.0
+        mean = total / len(counts)
+        return max(counts) / mean

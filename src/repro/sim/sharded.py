@@ -1,0 +1,262 @@
+"""A sharded multi-object ESDS deployment under simulated time.
+
+``ShardedCluster`` is the simulation counterpart of
+:class:`~repro.service.frontend.ShardedFrontend`: every shard is a complete
+:class:`~repro.sim.cluster.SimulatedCluster` (replicas, front ends, its own
+network and gossip timers) managing a :class:`~repro.service.keyed.KeyedStore`
+slice of the keyspace, and all shards share ONE seeded discrete-event loop so
+that cross-shard interleavings are reproducible from a single seed.  Gossip
+within a shard uses the batched same-instant fast path by default (each
+shard's replicas coalesce simultaneous arrivals), which is what keeps the
+event count linear in the shard count.
+
+Shards are fully independent — no messages cross shard boundaries — so total
+throughput scales with the shard count at fixed replicas-per-shard until the
+workload's key skew concentrates load (benchmark E9 measures both effects).
+
+Operation identifiers are minted by per-client counters shared across
+shards, so the aggregated ``requested`` / ``responded`` maps never collide
+and a single trace of the whole service remains well-formed.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.common import ConfigurationError, OperationId
+from repro.core.operations import OperationDescriptor
+from repro.datatypes.base import Operator, SerialDataType
+from repro.service.keyed import KeyedStore
+from repro.service.router import KeyspaceDirectory, ShardRouter
+from repro.sim.cluster import (
+    ReplicaFactory,
+    SimulatedCluster,
+    SimulationParams,
+    drive_until,
+)
+from repro.sim.events import Simulator
+from repro.sim.metrics import PerShardMetrics
+
+
+class ShardedCluster:
+    """N independent simulated ESDS shards on one seeded event loop.
+
+    Parameters
+    ----------
+    base_type:
+        The serial data type stored under every key.
+    num_shards:
+        Number of shards (ignored when *router* is given).
+    replicas_per_shard:
+        Replicas in each shard's ESDS group (at least two).
+    client_ids:
+        Clients; every shard hosts a front end for each client.
+    params:
+        Per-shard :class:`SimulationParams`.  When omitted, the defaults are
+        used with ``batch_gossip=True`` (the per-shard batched-gossip fast
+        path).
+    seed:
+        Single seed for the whole deployment; each shard derives its own
+        network RNG from it deterministically.
+    """
+
+    def __init__(
+        self,
+        base_type: SerialDataType,
+        num_shards: int = 2,
+        replicas_per_shard: int = 3,
+        client_ids: Sequence[str] = ("c0",),
+        params: Optional[SimulationParams] = None,
+        seed: int = 0,
+        router: Optional[ShardRouter] = None,
+        replica_factory: Optional[ReplicaFactory] = None,
+        virtual_nodes: int = 64,
+    ) -> None:
+        self.base_type = base_type
+        self.store_type = KeyedStore(base_type)
+        self.params = params if params is not None else SimulationParams(batch_gossip=True)
+        self.router = router or ShardRouter.for_count(num_shards, virtual_nodes=virtual_nodes)
+        self.shard_ids: Tuple[str, ...] = self.router.shard_ids
+        self.client_ids: Tuple[str, ...] = tuple(client_ids)
+        self.simulator = Simulator()
+        self.shards: Dict[str, SimulatedCluster] = {
+            shard: SimulatedCluster(
+                self.store_type,
+                replicas_per_shard,
+                self.client_ids,
+                params=self.params,
+                replica_factory=replica_factory,
+                simulator=self.simulator,
+                rng=random.Random(seed * 7919 + index + 1),
+            )
+            for index, shard in enumerate(self.shard_ids)
+        }
+        #: Shared routing/bookkeeping: unique identifiers, same-shard prev
+        #: validation, operation-to-shard/key records.
+        self.directory = KeyspaceDirectory(self.router, self.client_ids, base_type)
+        #: Every submitted operation, across shards.
+        self.requested: Dict[OperationId, OperationDescriptor] = {}
+        self._started = False
+
+    # ===================================================================== #
+    # Lifecycle                                                             #
+    # ===================================================================== #
+
+    def start(self) -> None:
+        """Start every shard's gossip timers on the shared event loop."""
+        if self._started:
+            return
+        self._started = True
+        for shard in self.shards.values():
+            shard.start()
+
+    @property
+    def now(self) -> float:
+        """Current simulation time (shared by every shard)."""
+        return self.simulator.now
+
+    def run(self, duration: float, max_events: Optional[int] = None) -> None:
+        """Advance the shared simulated time by *duration*."""
+        self.start()
+        self.simulator.run_until(self.simulator.now + duration, max_events)
+        for shard in self.shards.values():
+            shard.metrics.finished_at = self.simulator.now
+
+    def run_until_idle(self, max_time: float = 10_000.0, max_events: int = 5_000_000) -> None:
+        """Run until every submitted operation (on any shard) is answered, or
+        the time budget is exhausted."""
+        self.start()
+        drive_until(
+            self.simulator, lambda: not self.outstanding_operations(), max_time, max_events
+        )
+        for shard in self.shards.values():
+            shard.metrics.finished_at = self.simulator.now
+
+    def outstanding_operations(self) -> int:
+        """Submitted operations not yet answered, across all shards."""
+        return sum(shard.outstanding_operations() for shard in self.shards.values())
+
+    # ===================================================================== #
+    # Routing                                                               #
+    # ===================================================================== #
+
+    def shard_of(self, key: str) -> str:
+        """The shard identifier owning *key*."""
+        return self.router.shard_for(key)
+
+    def shard_of_operation(self, op_id: OperationId) -> str:
+        """The shard a previously submitted operation was routed to."""
+        return self.directory.shard_of_operation(op_id)
+
+    def key_of_operation(self, op_id: OperationId) -> str:
+        """The key a previously submitted operation addressed."""
+        return self.directory.key_of_operation(op_id)
+
+    def last_operation_on(self, key: str) -> Optional[OperationId]:
+        """The most recently submitted operation on *key* (any client)."""
+        return self.directory.last_operation_on(key)
+
+    # ===================================================================== #
+    # Client interface                                                      #
+    # ===================================================================== #
+
+    def submit(
+        self,
+        client: str,
+        key: str,
+        operator: Operator,
+        prev: Iterable[OperationId] = (),
+        strict: bool = False,
+        at: Optional[float] = None,
+    ) -> OperationDescriptor:
+        """Submit a keyed operation at simulation time *at* (default: now).
+
+        ``prev`` identifiers must belong to operations routed to the same
+        shard — always the case for same-key dependency chains.
+        """
+        # Reject a bad submission time before the directory records anything,
+        # so a failed submit cannot leave phantom routing entries that later
+        # prev=last_operation_on(key) chains would dangle from.
+        if at is not None and at < self.simulator.now:
+            raise ConfigurationError(
+                f"cannot submit in the past (at={at}, now={self.simulator.now})"
+            )
+        shard, operation = self.directory.route(client, key, operator, prev, strict)
+        self.start()
+        self.requested[operation.id] = operation
+        self.shards[shard].submit_operation(operation, at=at)
+        return operation
+
+    def execute(
+        self,
+        client: str,
+        key: str,
+        operator: Operator,
+        prev: Iterable[OperationId] = (),
+        strict: bool = False,
+        max_time: float = 10_000.0,
+    ) -> Tuple[OperationDescriptor, Any]:
+        """Synchronous facade: submit, run until answered, return the value."""
+        operation = self.submit(client, key, operator, prev, strict)
+        shard = self.shards[self.directory.shard_of_operation(operation.id)]
+        drive_until(self.simulator, lambda: operation.id in shard.responded, max_time)
+        if operation.id not in shard.responded:
+            raise RuntimeError(
+                f"operation {operation.id} received no response within {max_time} time units"
+            )
+        return operation, shard.responded[operation.id]
+
+    @property
+    def responded(self) -> Dict[OperationId, Any]:
+        """Values delivered to clients, across all shards."""
+        merged: Dict[OperationId, Any] = {}
+        for shard in self.shards.values():
+            merged.update(shard.responded)
+        return merged
+
+    def value_of(self, operation: OperationDescriptor) -> Any:
+        """The value returned for *operation* (KeyError when unanswered)."""
+        shard = self.directory.shard_of_operation(operation.id)
+        return self.shards[shard].responded[operation.id]
+
+    # ===================================================================== #
+    # Metrics and verification views                                        #
+    # ===================================================================== #
+
+    @property
+    def metrics(self) -> PerShardMetrics:
+        """Per-shard metric collectors with aggregate summaries."""
+        return PerShardMetrics({sid: shard.metrics for sid, shard in self.shards.items()})
+
+    def eventual_orders(self) -> Dict[str, List[OperationId]]:
+        """Each shard's eventual total order (by system-wide minimum label)."""
+        return {sid: shard.eventual_order() for sid, shard in self.shards.items()}
+
+    def fully_converged(self) -> bool:
+        """Has every shard stabilized every one of its operations?"""
+        return all(shard.fully_converged() for shard in self.shards.values())
+
+    def check_traces(self) -> None:
+        """Check the Theorem 5.8 oracle on every shard's recorded trace."""
+        from repro.verification.serializability import check_recorded_trace
+
+        for shard in self.shards.values():
+            check_recorded_trace(
+                shard.data_type, shard.trace, witness=shard.eventual_order()
+            )
+
+    def check_invariants(self) -> None:
+        """Run the Section 7/8 invariant checker on every shard's
+        :meth:`~repro.sim.cluster.SimulatedCluster.algorithm_view` (faithful
+        at network quiescence)."""
+        from repro.verification.invariants import AlgorithmInvariantChecker
+
+        for shard in self.shards.values():
+            AlgorithmInvariantChecker(shard.algorithm_view()).check_all()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"ShardedCluster({self.store_type.name}, shards={len(self.shard_ids)}, "
+            f"clients={len(self.client_ids)}, t={self.simulator.now:.1f})"
+        )

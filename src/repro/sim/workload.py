@@ -6,19 +6,29 @@ are chosen.  ``run_workload`` installs the workload on a cluster, runs the
 simulation for the requested duration plus a drain phase, and returns the
 collected metrics — this is the engine behind benchmarks E1, E2, E5, E7 and
 E8.
+
+``KeyedWorkloadSpec`` / ``run_keyed_workload`` are the multi-object
+counterparts for :class:`~repro.sim.sharded.ShardedCluster`: clients pick a
+key per request (uniformly or zipfian-skewed), mix strict and non-strict
+requests, and may chain per-key ``prev`` dependencies (the session-guarantee
+pattern, which by construction never crosses a shard boundary).  This is the
+engine behind benchmark E9.
 """
 
 from __future__ import annotations
 
+import bisect
+import itertools
 import random
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
-from repro.common import OperationId
+from repro.common import MetricsError, OperationId
 from repro.core.operations import OperationDescriptor
 from repro.datatypes.base import Operator, SerialDataType
 from repro.sim.cluster import SimulatedCluster
-from repro.sim.metrics import LatencySummary, MetricsCollector
+from repro.sim.metrics import LatencySummary, MetricsCollector, PerShardMetrics
+from repro.sim.sharded import ShardedCluster
 
 #: An operator generator receives the per-client RNG and a running index and
 #: returns the operator to submit.
@@ -28,6 +38,22 @@ OperatorFactory = Callable[[random.Random, int], Operator]
 def default_counter_mix(rng: random.Random, index: int) -> Operator:
     """A simple update-heavy counter mix (2/3 increments, 1/3 reads)."""
     return Operator("increment") if rng.random() < 2 / 3 else Operator("read")
+
+
+#: Per-client workload seeds are derived as ``seed * STRIDE + client_index``.
+CLIENT_SEED_STRIDE = 1009
+
+
+def default_drain_time(params) -> float:
+    """Generous default drain window after the last submission: ~10 gossip
+    rounds plus request round trips, shared by the keyed and unkeyed
+    engines so their runs stay comparable."""
+    return 10 * (params.gossip_period + params.dg) + 10 * params.df
+
+
+def interarrival_gap(rng: random.Random, mean: float, poisson: bool) -> float:
+    """One submission gap: exponential with the given mean, or fixed."""
+    return rng.expovariate(1.0 / mean) if poisson else mean
 
 
 @dataclass
@@ -59,8 +85,11 @@ class WorkloadSpec:
     prev_policy: str = "none"
     operator_factory: OperatorFactory = default_counter_mix
 
+    #: Accepted ``prev_policy`` values (subclasses override).
+    VALID_PREV_POLICIES = ("none", "last_own", "random_own")
+
     def __post_init__(self) -> None:
-        if self.prev_policy not in ("none", "last_own", "random_own"):
+        if self.prev_policy not in self.VALID_PREV_POLICIES:
             raise ValueError(f"unknown prev policy {self.prev_policy!r}")
         if not 0.0 <= self.strict_fraction <= 1.0:
             raise ValueError("strict_fraction must be within [0, 1]")
@@ -78,9 +107,9 @@ class ClientWorkload:
         self._own_history: List[OperationId] = []
 
     def _next_gap(self) -> float:
-        if self.spec.poisson_arrivals:
-            return self.rng.expovariate(1.0 / self.spec.mean_interarrival)
-        return self.spec.mean_interarrival
+        return interarrival_gap(
+            self.rng, self.spec.mean_interarrival, self.spec.poisson_arrivals
+        )
 
     def _prev_for(self) -> Tuple[OperationId, ...]:
         if self.spec.prev_policy == "none" or not self._own_history:
@@ -125,10 +154,24 @@ class WorkloadResult:
 
     @property
     def mean_latency(self) -> float:
-        return self.metrics.latency_summary().mean
+        """Mean latency over every completed operation.
+
+        Raises :class:`~repro.common.MetricsError` when nothing completed —
+        a mean of an empty set is a workload bug (nothing drained, or every
+        request was lost), not a number.
+        """
+        return self.latency_summary().mean
 
     def latency_summary(self, category: Optional[str] = None) -> LatencySummary:
-        return self.metrics.latency_summary(category)
+        summary = self.metrics.latency_summary(category)
+        if summary.count == 0:
+            label = f" in category {category!r}" if category is not None else ""
+            raise MetricsError(
+                f"no operations completed{label}: latency is undefined "
+                f"({self.submitted} submitted, {self.metrics.outstanding} outstanding; "
+                f"did the run include a drain phase?)"
+            )
+        return summary
 
 
 def run_workload(
@@ -147,16 +190,206 @@ def run_workload(
     cluster.start()
     submitted = 0
     for index, client in enumerate(cluster.client_ids):
-        workload = ClientWorkload(client, spec, seed=seed * 1009 + index)
+        workload = ClientWorkload(client, spec, seed=seed * CLIENT_SEED_STRIDE + index)
         submitted += len(workload.install(cluster, start_time=cluster.now))
 
     submission_window = spec.operations_per_client * spec.mean_interarrival
     if drain_time is None:
-        drain_time = 10 * (cluster.params.gossip_period + cluster.params.dg) + 10 * cluster.params.df
+        drain_time = default_drain_time(cluster.params)
     cluster.run(submission_window)
     cluster.run_until_idle(max_time=drain_time)
     duration = max(cluster.metrics.finished_at - cluster.metrics.started_at, submission_window)
     return WorkloadResult(
+        cluster=cluster,
+        metrics=cluster.metrics,
+        duration=duration,
+        submitted=submitted,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Keyed workloads for the sharded service layer (benchmark E9)
+# ---------------------------------------------------------------------------
+
+
+def zipfian_cdf(num_keys: int, exponent: float) -> List[float]:
+    """Cumulative distribution of a zipfian law over ``num_keys`` ranks.
+
+    ``P(rank r) ∝ 1 / r^exponent``; rank 1 is the hottest key.  Returned as a
+    cumulative list suitable for :func:`bisect.bisect_left` sampling.
+    """
+    weights = [1.0 / (rank ** exponent) for rank in range(1, num_keys + 1)]
+    total = sum(weights)
+    return list(itertools.accumulate(weight / total for weight in weights))
+
+
+@dataclass
+class KeyedWorkloadSpec(WorkloadSpec):
+    """Description of a multi-object (keyed) client workload.
+
+    Extends :class:`WorkloadSpec` (same arrival process, operator mix and
+    strictness knobs) with keyspace parameters:
+
+    num_keys:
+        Size of the keyspace (keys are ``k0 .. k{n-1}``).
+    key_distribution:
+        ``"uniform"`` — every key equally likely; ``"zipfian"`` — key ranks
+        follow a zipf law with exponent ``zipf_exponent``.  The rank-to-key
+        assignment is shuffled with ``zipf_rank_seed`` and shared by every
+        client (a workload has one set of hot keys), so varying the seed
+        moves the hot spot onto different shards.
+    prev_policy:
+        ``"none"`` — empty ``prev`` sets; ``"last_on_key"`` — depend on this
+        client's previous operation on the same key (per-key session
+        guarantee); ``"random_on_key"`` — depend on a random earlier
+        operation of this client on the same key.  Per-key dependencies are
+        the only ones a sharded service can honour, since equal keys route to
+        equal shards.
+    operator_factory:
+        Generates the *base-type* operator for each request (the keyed
+        ``at(key, ...)`` wrapper is applied by the cluster).
+    """
+
+    num_keys: int = 16
+    key_distribution: str = "uniform"
+    zipf_exponent: float = 1.1
+    zipf_rank_seed: int = 0
+
+    VALID_PREV_POLICIES = ("none", "last_on_key", "random_on_key")
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.num_keys < 1:
+            raise ValueError("num_keys must be at least 1")
+        if self.key_distribution not in ("uniform", "zipfian"):
+            raise ValueError(f"unknown key distribution {self.key_distribution!r}")
+        if self.zipf_exponent <= 0:
+            raise ValueError("zipf_exponent must be positive")
+
+
+class KeyedClientWorkload:
+    """Submission schedule for a single client of a sharded cluster."""
+
+    def __init__(self, client_id: str, spec: KeyedWorkloadSpec, seed: int) -> None:
+        self.client_id = client_id
+        self.spec = spec
+        self.rng = random.Random(seed)
+        #: This client's operation history per key (for prev policies).
+        self._history_by_key: Dict[str, List[OperationId]] = {}
+        keys = [f"k{i}" for i in range(spec.num_keys)]
+        if spec.key_distribution == "zipfian":
+            # Which concrete key gets which popularity rank is decided by the
+            # spec-level seed, shared by every client: a workload has ONE set
+            # of hot keys, and varying zipf_rank_seed moves the hot spot.
+            random.Random(spec.zipf_rank_seed).shuffle(keys)
+            self._cdf = zipfian_cdf(spec.num_keys, spec.zipf_exponent)
+        else:
+            self._cdf = None
+        self._keys = keys
+
+    def _next_gap(self) -> float:
+        return interarrival_gap(
+            self.rng, self.spec.mean_interarrival, self.spec.poisson_arrivals
+        )
+
+    def _choose_key(self) -> str:
+        if self._cdf is None:
+            return self.rng.choice(self._keys)
+        rank = bisect.bisect_left(self._cdf, self.rng.random())
+        return self._keys[min(rank, len(self._keys) - 1)]
+
+    def _prev_for(self, key: str) -> Tuple[OperationId, ...]:
+        history = self._history_by_key.get(key)
+        if self.spec.prev_policy == "none" or not history:
+            return ()
+        if self.spec.prev_policy == "last_on_key":
+            return (history[-1],)
+        return (self.rng.choice(history),)
+
+    def install(self, cluster: ShardedCluster, start_time: float = 0.0) -> List[OperationDescriptor]:
+        """Schedule every submission of this client on *cluster*.
+
+        Returns the operation descriptors in submission order.
+        """
+        submitted: List[OperationDescriptor] = []
+        when = start_time
+        for index in range(self.spec.operations_per_client):
+            when += self._next_gap()
+            key = self._choose_key()
+            operator = self.spec.operator_factory(self.rng, index)
+            strict = self.rng.random() < self.spec.strict_fraction
+            operation = cluster.submit(
+                self.client_id, key, operator,
+                prev=self._prev_for(key), strict=strict, at=when,
+            )
+            self._history_by_key.setdefault(key, []).append(operation.id)
+            submitted.append(operation)
+        return submitted
+
+
+@dataclass
+class KeyedWorkloadResult:
+    """Everything benchmark E9 needs from one sharded run."""
+
+    cluster: ShardedCluster
+    metrics: PerShardMetrics
+    duration: float
+    submitted: int
+
+    @property
+    def throughput(self) -> float:
+        """Total committed-ops throughput over the run."""
+        return self.metrics.throughput(self.duration)
+
+    @property
+    def mean_latency(self) -> float:
+        """Mean latency across shards (raises
+        :class:`~repro.common.MetricsError` when nothing completed)."""
+        return self.latency_summary().mean
+
+    def latency_summary(
+        self, *, shard: Optional[str] = None, category: Optional[str] = None
+    ) -> LatencySummary:
+        summary = self.metrics.latency_summary(shard=shard, category=category)
+        if summary.count == 0:
+            where = f" on shard {shard!r}" if shard is not None else ""
+            label = f" in category {category!r}" if category is not None else ""
+            raise MetricsError(
+                f"no operations completed{where}{label}: latency is undefined "
+                f"({self.submitted} submitted)"
+            )
+        return summary
+
+    def throughput_by_shard(self) -> Dict[str, float]:
+        return self.metrics.throughput_by_shard(self.duration)
+
+
+def run_keyed_workload(
+    cluster: ShardedCluster,
+    spec: KeyedWorkloadSpec,
+    seed: int = 0,
+    drain_time: Optional[float] = None,
+) -> KeyedWorkloadResult:
+    """Install *spec* on every client of the sharded *cluster*, run to
+    completion, and return per-shard metrics.
+
+    Mirrors :func:`run_workload`: the simulation runs over the submission
+    window, then drains outstanding (typically strict) operations.
+    """
+    cluster.start()
+    started_at = cluster.now
+    submitted = 0
+    for index, client in enumerate(cluster.client_ids):
+        workload = KeyedClientWorkload(client, spec, seed=seed * CLIENT_SEED_STRIDE + index)
+        submitted += len(workload.install(cluster, start_time=started_at))
+
+    submission_window = spec.operations_per_client * spec.mean_interarrival
+    if drain_time is None:
+        drain_time = default_drain_time(cluster.params)
+    cluster.run(submission_window)
+    cluster.run_until_idle(max_time=drain_time)
+    duration = max(cluster.now - started_at, submission_window)
+    return KeyedWorkloadResult(
         cluster=cluster,
         metrics=cluster.metrics,
         duration=duration,

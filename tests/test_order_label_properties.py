@@ -1,0 +1,219 @@
+"""Property-based tests (hypothesis) for :mod:`repro.core.orders` and
+:mod:`repro.algorithm.labels`: antisymmetry of the derived partial orders,
+total-order laws of the label space, and stable-prefix monotonicity of
+replicas under random gossip-merge interleavings."""
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.algorithm.labels import (
+    Label,
+    LabelGenerator,
+    label_min,
+    label_sort_key,
+)
+from repro.algorithm.messages import RequestMessage
+from repro.algorithm.replica import ReplicaCore
+from repro.common import INFINITY, OperationIdGenerator
+from repro.core.operations import make_operation
+from repro.core.orders import (
+    PartialOrder,
+    is_consistent,
+    is_strict_partial_order,
+    transitive_closure,
+)
+from repro.datatypes import CounterType
+
+# ---------------------------------------------------------------------------
+# Label total-order laws
+# ---------------------------------------------------------------------------
+
+labels = st.builds(
+    Label,
+    rank=st.integers(min_value=0, max_value=50),
+    replica=st.sampled_from(["r0", "r1", "r2", "r9"]),
+)
+labels_or_infinity = st.one_of(labels, st.just(INFINITY))
+
+
+@settings(max_examples=80, deadline=None)
+@given(labels_or_infinity, labels_or_infinity)
+def test_labels_antisymmetric_and_total(a, b):
+    # Trichotomy: exactly one of <, ==, > holds.
+    relations = [a < b, a == b, b < a]
+    assert relations.count(True) == 1
+    # Antisymmetry via the shared sort key.
+    assert (label_sort_key(a) < label_sort_key(b)) == (a < b)
+    assert (label_sort_key(a) == label_sort_key(b)) == (a == b)
+
+
+@settings(max_examples=60, deadline=None)
+@given(labels_or_infinity, labels_or_infinity, labels_or_infinity)
+def test_label_order_transitive(a, b, c):
+    if a < b and b < c:
+        assert a < c
+    if label_sort_key(a) <= label_sort_key(b) <= label_sort_key(c):
+        assert label_sort_key(a) <= label_sort_key(c)
+
+
+@settings(max_examples=60, deadline=None)
+@given(labels_or_infinity, labels_or_infinity, labels_or_infinity)
+def test_label_min_is_a_semilattice(a, b, c):
+    # Commutative, associative, idempotent — the merge in receive_gossip
+    # relies on all three so that message reordering cannot matter.
+    assert label_min(a, b) == label_min(b, a)
+    assert label_min(a, label_min(b, c)) == label_min(label_min(a, b), c)
+    assert label_min(a, a) == a
+    # INFINITY is the identity, and the result is one of the arguments.
+    assert label_min(a, INFINITY) == a
+    assert label_min(a, b) in (a, b)
+    assert label_sort_key(label_min(a, b)) == min(label_sort_key(a), label_sort_key(b))
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    st.lists(labels, max_size=6),
+    st.sampled_from(["r0", "r7"]),
+    st.integers(min_value=0, max_value=5),
+)
+def test_label_generator_dominates_inputs_and_is_monotone(seen, replica, start):
+    generator = LabelGenerator(replica, start_rank=start)
+    first = generator.fresh(greater_than=seen)
+    second = generator.fresh()
+    assert first.replica == replica
+    assert all(label < first for label in seen)
+    assert first < second  # strictly increasing forever
+
+
+# ---------------------------------------------------------------------------
+# Partial-order algebra
+# ---------------------------------------------------------------------------
+
+small_pairs = st.lists(
+    st.tuples(st.integers(0, 6), st.integers(0, 6)).filter(lambda p: p[0] != p[1]),
+    max_size=10,
+)
+
+
+def acyclic(pairs):
+    return all(a != b for a, b in transitive_closure(pairs))
+
+
+@settings(max_examples=60, deadline=None)
+@given(small_pairs)
+def test_partial_order_antisymmetry(pairs):
+    if not acyclic(pairs):
+        return
+    order = PartialOrder(pairs)
+    for a, b in order.pairs:
+        assert not order.precedes(b, a)
+        assert order.comparable(a, b)
+    assert is_strict_partial_order(set(order.pairs))
+
+
+@settings(max_examples=60, deadline=None)
+@given(small_pairs, small_pairs)
+def test_consistency_is_symmetric_and_extension_safe(first, second):
+    assert is_consistent(first, second) == is_consistent(second, first)
+    if not acyclic(first):
+        return
+    order = PartialOrder(first)
+    if order.is_consistent_with(second):
+        extended = order.extended_with(second)
+        # Extension preserves every original constraint (refinement).
+        assert order <= extended
+    else:
+        try:
+            order.extended_with(second)
+        except ValueError:
+            pass
+        else:
+            raise AssertionError("inconsistent extension was accepted")
+
+
+@settings(max_examples=40, deadline=None)
+@given(small_pairs, st.sets(st.integers(0, 6), min_size=1, max_size=5))
+def test_restriction_preserves_order_and_antisymmetry(pairs, subset):
+    if not acyclic(pairs):
+        return
+    order = PartialOrder(pairs)
+    restricted = order.restricted_to(subset)
+    for a, b in restricted.pairs:
+        assert a in subset and b in subset
+        assert order.precedes(a, b)
+        assert not restricted.precedes(b, a)
+
+
+# ---------------------------------------------------------------------------
+# Stable-prefix monotonicity under random merge interleavings
+# ---------------------------------------------------------------------------
+
+
+def label_ordered_stable(replica):
+    """The replica's stable operations, in its label order."""
+    return sorted(
+        replica.stable_here(), key=lambda op: label_sort_key(replica.label_of(op.id))
+    )
+
+
+def is_order_preserving_superset(old, new):
+    """Every element of *old* appears in *new*, in the same relative order."""
+    positions = {op.id: index for index, op in enumerate(new)}
+    indices = [positions.get(op.id) for op in old]
+    if any(index is None for index in indices):
+        return False
+    return indices == sorted(indices)
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.integers(min_value=0, max_value=10_000), st.integers(min_value=6, max_value=24))
+def test_stable_prefix_grows_monotonically_under_random_merges(seed, steps):
+    """Drive two replicas through a random interleaving of do_its and gossip
+    merges; at every point each replica's stable set may only grow, and the
+    label order of already-stable operations never changes (the paper's
+    stable-prefix property behind Invariants 7.19/7.21 and the memoizing
+    optimization)."""
+    rng = random.Random(seed)
+    data_type = CounterType()
+    replica_ids = ("rA", "rB")
+    replicas = {
+        rid: ReplicaCore(rid, replica_ids, data_type) for rid in replica_ids
+    }
+    id_generator = OperationIdGenerator("client")
+    previous = {rid: [] for rid in replica_ids}
+
+    for _ in range(steps):
+        action = rng.random()
+        if action < 0.4:
+            target = replicas[rng.choice(replica_ids)]
+            operation = make_operation(
+                rng.choice([CounterType.increment(), CounterType.read()]),
+                id_generator.fresh(),
+            )
+            target.receive_request(RequestMessage(operation))
+            target.do_all_ready()
+        else:
+            source = rng.choice(replica_ids)
+            destination = next(r for r in replica_ids if r != source)
+            message = replicas[source].make_gossip(destination)
+            replicas[destination].receive_gossip(message)
+            replicas[destination].do_all_ready()
+
+        for rid, replica in replicas.items():
+            ordered = label_ordered_stable(replica)
+            assert is_order_preserving_superset(previous[rid], ordered), (
+                f"stable prefix of {rid} shrank or reordered"
+            )
+            previous[rid] = ordered
+
+    # Final exchange: both replicas converge on one stable order.
+    for _ in range(2):
+        for source in replica_ids:
+            destination = next(r for r in replica_ids if r != source)
+            replicas[destination].receive_gossip(replicas[source].make_gossip(destination))
+            replicas[destination].do_all_ready()
+    orders = [
+        [op.id for op in label_ordered_stable(replica)] for replica in replicas.values()
+    ]
+    assert orders[0] == orders[1]

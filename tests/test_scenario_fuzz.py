@@ -1,0 +1,272 @@
+"""Seeded randomized scenario fuzzing.
+
+Each scenario draws a random deployment (replica count, data type, timing
+parameters, gossip mode), a random client workload (operator mix, strict
+fraction, dependency policy) and a random :class:`FaultSchedule` (crashes
+with recovery, gossip outages, delay spikes), runs it on the discrete-event
+simulator, and then checks the two correctness oracles on the outcome:
+
+* the **eventual-serializability oracle** (Theorem 5.8): every strict
+  response is explained by the system-wide minimum-label eventual order;
+* the **Section 7/8 invariant checker**, run against the cluster's
+  :meth:`~repro.sim.cluster.SimulatedCluster.algorithm_view` once the
+  network has quiesced (the view models channels as empty, which is exactly
+  the quiescent state; crashes are always recovered, so convergence is
+  guaranteed by the perpetual gossip timers).
+
+Every scenario runs under both full-state and delta gossip — the PR 1
+equivalence argument says the observable guarantees are identical, and this
+suite is the randomized regression net enforcing it.  A smaller batch of
+scenarios exercises the sharded service layer with per-shard faults.
+"""
+
+import random
+
+import pytest
+
+from repro.datatypes import CounterType, GSetType, RegisterType
+from repro.sim.cluster import SimulatedCluster, SimulationParams
+from repro.sim.faults import DelaySpike, FaultSchedule, GossipOutage, ReplicaCrash
+from repro.sim.sharded import ShardedCluster
+from repro.sim.workload import KeyedWorkloadSpec, WorkloadSpec, run_keyed_workload, run_workload
+from repro.verification.invariants import AlgorithmInvariantChecker
+from repro.verification.serializability import check_recorded_trace
+
+FUZZ_SEEDS = list(range(20))
+
+#: Filled in by the parametrized scenarios: (seed, delta_gossip) -> whether
+#: any operation was lost to a volatile crash; consumed by the corpus check.
+_LOSSINESS = {}
+
+#: Random operator mixes per data type: (type factory, operator chooser).
+DATA_TYPES = [
+    (CounterType, lambda rng, i: rng.choice(
+        [CounterType.increment(), CounterType.add(rng.randint(1, 5)), CounterType.read()])),
+    (GSetType, lambda rng, i: rng.choice(
+        [GSetType.insert(rng.randint(0, 9)), GSetType.size(), GSetType.snapshot()])),
+    (RegisterType, lambda rng, i: rng.choice(
+        [RegisterType.write(rng.randint(0, 99)), RegisterType.read()])),
+]
+
+
+def random_params(rng: random.Random, delta_gossip: bool) -> SimulationParams:
+    return SimulationParams(
+        df=1.0,
+        dg=1.0,
+        gossip_period=rng.choice([1.0, 2.0]),
+        jitter=rng.choice([0.0, 0.5]),
+        loss_probability=rng.choice([0.0, 0.0, 0.1]),
+        spike_factor=rng.choice([2.0, 5.0]),
+        service_time=rng.choice([0.0, 0.1]),
+        request_fanout=rng.choice([1, 2]),
+        frontend_policy=rng.choice(["affinity", "round_robin", "random"]),
+        retransmit_interval=4.0,  # masks loss and crash windows
+        delta_gossip=delta_gossip,
+        full_state_interval=rng.choice([4, 8]),
+        incremental_replay=rng.random() < 0.5,
+        batch_gossip=rng.random() < 0.5,
+    )
+
+
+def random_workload(rng: random.Random, operator_factory) -> WorkloadSpec:
+    return WorkloadSpec(
+        operations_per_client=rng.randint(6, 12),
+        mean_interarrival=rng.choice([0.5, 1.0]),
+        poisson_arrivals=rng.random() < 0.5,
+        strict_fraction=rng.choice([0.0, 0.2, 0.5]),
+        prev_policy=rng.choice(["none", "last_own", "random_own"]),
+        operator_factory=operator_factory,
+    )
+
+
+def random_faults(rng: random.Random, replica_ids, horizon: float) -> FaultSchedule:
+    """0-2 random faults, all of which end (crashes always recover) so the
+    system is guaranteed to converge afterwards."""
+    schedule = FaultSchedule()
+    for _ in range(rng.randint(0, 2)):
+        kind = rng.choice(["crash", "outage", "spike"])
+        start = rng.uniform(1.0, max(horizon - 2.0, 2.0))
+        length = rng.uniform(2.0, 10.0)
+        if kind == "crash":
+            schedule.add(ReplicaCrash(
+                rng.choice(replica_ids), at=start, recover_at=start + length,
+                volatile_memory=rng.random() < 0.7,
+            ))
+        elif kind == "outage":
+            schedule.add(GossipOutage(rng.choice(replica_ids), start=start, end=start + length))
+        else:
+            schedule.add(DelaySpike(start=start, end=start + length))
+    return schedule
+
+
+def classify_casualties(cluster):
+    """Partition the requested operations into ``(lost, stuck)`` identifiers.
+
+    A volatile crash wipes everything but the locally generated labels
+    (Section 9.3), so an operation that was done and *answered* at one
+    replica and then wiped before any gossip spread it is gone for good —
+    the front end stopped retransmitting when the response arrived.  That is
+    the ack-before-replicate window the paper's fault model genuinely
+    permits; the liveness-flavoured checks below must not demand the
+    impossible for such operations.  ``stuck`` operations are those whose
+    ``prev`` chain passes through a lost operation: no replica can ever do
+    them (``can_do`` waits for the lost dependency), so they stay
+    unanswered.  Unanswered-and-wiped operations are neither: retransmission
+    re-delivers them.
+    """
+    known = set()
+    for replica in cluster.replicas.values():
+        known |= replica.rcvd | replica.done_here()
+    lost = {
+        op_id
+        for op_id, op in cluster.requested.items()
+        if op_id in cluster.responded and op not in known
+    }
+    unreachable = set(lost)
+    changed = True
+    while changed:
+        changed = False
+        for op_id, op in cluster.requested.items():
+            if op_id not in unreachable and op.prev & unreachable:
+                unreachable.add(op_id)
+                changed = True
+    return lost, unreachable - lost
+
+
+def quiesce(cluster, surviving_ids=None, max_rounds: int = 200) -> bool:
+    """Run extra gossip rounds until every surviving operation is stable at
+    every replica.
+
+    Perpetual gossip timers guarantee convergence once faults have ended;
+    message loss only delays it (delta gossip falls back to full state every
+    ``full_state_interval`` sends, so dropped seqnos cannot wedge a peer).
+    """
+    if surviving_ids is None:
+        surviving_ids = set(cluster.requested)
+    targets = {cluster.requested[op_id] for op_id in surviving_ids}
+    period = cluster.params.gossip_period + cluster.params.dg + cluster.params.df
+    for _ in range(max_rounds):
+        if all(targets <= replica.stable_here() for replica in cluster.replicas.values()):
+            return True
+        cluster.run(period)
+    return all(targets <= replica.stable_here() for replica in cluster.replicas.values())
+
+
+def check_scenario_outcome(cluster):
+    """The oracles every scenario must satisfy at quiescence.
+
+    Returns the ``(lost, stuck)`` casualty sets so callers can account for
+    how often the loss-tolerant relaxations were actually exercised.
+    """
+    lost, stuck = classify_casualties(cluster)
+    surviving = set(cluster.requested) - lost - stuck
+    # Liveness: everything that *can* complete did complete.
+    unanswered = set(cluster.requested) - set(cluster.responded)
+    assert unanswered <= stuck, f"survivable operations left unanswered: {unanswered - stuck}"
+    assert quiesce(cluster, surviving), "cluster failed to converge after faults ended"
+    # Eventual-serializability oracle (Theorem 5.8) — unconditional safety.
+    # The witness is the minimum-label order over the surviving operations;
+    # casualties are appended in client order (a lost operation leaves only a
+    # stable-storage ghost label, which no surviving response ever saw, so it
+    # must not sit inside the order; no csc edge can lead from a casualty to
+    # a survivor, or the survivor would itself be stuck).
+    casualties = lost | stuck
+    witness = [op_id for op_id in cluster.eventual_order() if op_id not in casualties]
+    witness += sorted(casualties, key=lambda op_id: (op_id.client, op_id.seqno))
+    check_recorded_trace(cluster.data_type, cluster.trace, witness=witness)
+    # Section 7/8 invariants on the quiescent algorithm view.  The checker
+    # assumes the crash-free universe: a lost operation leaves a restored
+    # stable-storage label with no surviving body behind (violating 7.5 by
+    # design), so the full sweep applies exactly to loss-free executions —
+    # the vast majority of seeds.
+    if not lost:
+        AlgorithmInvariantChecker(cluster.algorithm_view()).check_all()
+    # All replicas agree on the final state (convergence, Lemma 2.7).
+    states = {
+        replica_id: cluster.data_type.outcome([op.op for op in replica.done_order()])
+        for replica_id, replica in cluster.replicas.items()
+    }
+    assert len(set(states.values())) == 1, f"replica states diverged: {states}"
+    return lost, stuck
+
+
+@pytest.mark.parametrize("delta_gossip", [False, True], ids=["full", "delta"])
+@pytest.mark.parametrize("seed", FUZZ_SEEDS)
+def test_random_scenarios_preserve_guarantees(seed, delta_gossip):
+    rng = random.Random(seed * 2 + (1 if delta_gossip else 0))
+    type_factory, operator_factory = rng.choice(DATA_TYPES)
+    params = random_params(rng, delta_gossip)
+    num_replicas = rng.randint(2, 4)
+    clients = [f"c{i}" for i in range(rng.randint(1, 3))]
+    cluster = SimulatedCluster(
+        type_factory(), num_replicas, clients, params=params, seed=seed * 31 + 7
+    )
+
+    spec = random_workload(rng, operator_factory)
+    horizon = spec.operations_per_client * spec.mean_interarrival
+    faults = random_faults(rng, list(cluster.replica_ids), horizon)
+    faults.install(cluster)
+
+    result = run_workload(cluster, spec, seed=seed + 1000, drain_time=600.0)
+    # Let every fault window end before judging the outcome.
+    remaining = faults.last_fault_time() - cluster.now
+    if remaining > 0:
+        cluster.run(remaining + params.gossip_period)
+    cluster.run_until_idle(max_time=600.0)
+
+    assert result.submitted == spec.operations_per_client * len(clients)
+    lost, _stuck = check_scenario_outcome(cluster)
+    _LOSSINESS[(seed, delta_gossip)] = bool(lost)
+
+
+def test_fuzz_corpus_is_mostly_loss_free():
+    """The casualty classifier must stay an edge-case escape hatch: across
+    the corpus, the overwhelming majority of scenarios exercise the full
+    invariant sweep (no answered operation wiped by a volatile crash).
+
+    Reads the lossiness recorded by the parametrized scenarios above rather
+    than re-running the simulations; with a ``-k`` selection that skips
+    them, there is nothing to audit."""
+    if len(_LOSSINESS) < len(FUZZ_SEEDS) * 2:
+        pytest.skip("full scenario corpus did not run in this session")
+    lossy = sum(_LOSSINESS.values())
+    assert lossy <= len(FUZZ_SEEDS) * 2 // 4, f"{lossy} of {len(_LOSSINESS)} scenarios lossy"
+
+
+@pytest.mark.parametrize("delta_gossip", [False, True], ids=["full", "delta"])
+@pytest.mark.parametrize("seed", [0, 1, 2, 3])
+def test_random_sharded_scenarios_preserve_guarantees(seed, delta_gossip):
+    """The same oracles, per shard, on the sharded service layer with faults
+    injected into individual shards."""
+    rng = random.Random(900 + seed * 2 + (1 if delta_gossip else 0))
+    params = random_params(rng, delta_gossip)
+    cluster = ShardedCluster(
+        CounterType(), num_shards=rng.choice([2, 3]), replicas_per_shard=3,
+        client_ids=[f"c{i}" for i in range(rng.randint(1, 2))],
+        params=params, seed=seed * 13 + 5,
+    )
+    spec = KeyedWorkloadSpec(
+        operations_per_client=rng.randint(6, 10),
+        mean_interarrival=rng.choice([0.5, 1.0]),
+        strict_fraction=rng.choice([0.0, 0.3]),
+        num_keys=rng.choice([4, 8]),
+        key_distribution=rng.choice(["uniform", "zipfian"]),
+        prev_policy=rng.choice(["none", "last_on_key"]),
+    )
+    horizon = spec.operations_per_client * spec.mean_interarrival
+    schedules = []
+    for shard in cluster.shards.values():
+        faults = random_faults(rng, list(shard.replica_ids), horizon)
+        faults.install(shard)
+        schedules.append(faults)
+
+    run_keyed_workload(cluster, spec, seed=seed + 77, drain_time=600.0)
+    last_fault = max(schedule.last_fault_time() for schedule in schedules)
+    if last_fault > cluster.now:
+        cluster.run(last_fault - cluster.now + params.gossip_period)
+    cluster.run_until_idle(max_time=600.0)
+
+    # Every shard is an independent ESDS instance: the full set of oracles
+    # applies to each one separately.
+    for shard in cluster.shards.values():
+        check_scenario_outcome(shard)

@@ -1,0 +1,139 @@
+"""Direct unit tests for :mod:`repro.sim.faults` — the fault classes'
+scheduling, end-time accounting and observable effect on the cluster, tested
+in isolation (the end-to-end behaviour is covered by the fault-tolerance and
+scenario-fuzz suites)."""
+
+import pytest
+
+from repro.datatypes import CounterType
+from repro.sim.cluster import SimulatedCluster, SimulationParams
+from repro.sim.faults import DelaySpike, FaultSchedule, GossipOutage, ReplicaCrash
+
+
+def make_cluster(**params_kwargs):
+    params = SimulationParams(df=1.0, dg=1.0, gossip_period=2.0, **params_kwargs)
+    return SimulatedCluster(CounterType(), 3, ["c0"], params=params, seed=1)
+
+
+class TestReplicaCrash:
+    def test_crash_and_recovery_are_scheduled_at_the_given_times(self):
+        cluster = make_cluster()
+        ReplicaCrash("r1", at=5.0, recover_at=9.0).install(cluster)
+        cluster.run(4.9)
+        assert "r1" not in cluster._crashed
+        cluster.run(0.2)  # past t=5.0
+        assert "r1" in cluster._crashed
+        cluster.run(3.7)  # t=8.8, still down
+        assert "r1" in cluster._crashed
+        cluster.run(0.4)  # past t=9.0
+        assert "r1" not in cluster._crashed
+
+    def test_crash_without_recovery_is_permanent(self):
+        cluster = make_cluster()
+        ReplicaCrash("r2", at=1.0).install(cluster)
+        cluster.run(50.0)
+        assert "r2" in cluster._crashed
+
+    def test_volatile_memory_flag_controls_state_loss(self):
+        for volatile, expect_empty in ((True, True), (False, False)):
+            cluster = make_cluster()
+            _op, _value = cluster.execute("c0", CounterType.increment())
+            replica = next(
+                rid for rid, rep in cluster.replicas.items() if rep.done_here()
+            )
+            ReplicaCrash(replica, at=cluster.now + 1.0,
+                         volatile_memory=volatile).install(cluster)
+            cluster.run(2.0)
+            assert (not cluster.replicas[replica].done_here()) == expect_empty
+
+    def test_end_time(self):
+        assert ReplicaCrash("r0", at=3.0).end_time() == 3.0
+        assert ReplicaCrash("r0", at=3.0, recover_at=8.5).end_time() == 8.5
+
+    def test_recover_before_crash_rejected(self):
+        with pytest.raises(ValueError):
+            ReplicaCrash("r0", at=5.0, recover_at=5.0).install(make_cluster())
+
+
+class TestGossipOutage:
+    def test_partition_applies_only_inside_the_window(self):
+        cluster = make_cluster()
+        GossipOutage("r1", start=2.0, end=6.0).install(cluster)
+        cluster.run(1.9)
+        assert "r1" not in cluster.network.partitioned
+        cluster.run(0.2)
+        assert "r1" in cluster.network.partitioned
+        cluster.run(4.0)  # past t=6.0
+        assert "r1" not in cluster.network.partitioned
+
+    def test_partitioned_replica_drops_messages_both_ways(self):
+        cluster = make_cluster()
+        cluster.network.partition("r1")
+        dropped_before = cluster.network.counters.dropped
+        assert cluster.network.should_drop("gossip", "r0", "r1")
+        assert cluster.network.should_drop("gossip", "r1", "r0")
+        assert not cluster.network.should_drop("gossip", "r0", "r2")
+        assert cluster.network.counters.dropped == dropped_before + 2
+
+    def test_end_time_and_validation(self):
+        assert GossipOutage("r1", start=2.0, end=6.0).end_time() == 6.0
+        with pytest.raises(ValueError):
+            GossipOutage("r1", start=6.0, end=6.0).install(make_cluster())
+
+
+class TestDelaySpike:
+    def test_delays_multiplied_during_window_only(self):
+        cluster = make_cluster(spike_factor=4.0)
+        DelaySpike(start=2.0, end=7.0).install(cluster)
+        cluster.run(1.0)
+        assert cluster.network.delay_for("gossip", cluster.now) == 1.0
+        cluster.run(2.0)  # inside the window
+        assert cluster.network.delay_for("gossip", cluster.now) == 4.0
+        assert cluster.network.delay_for("request", cluster.now) == 4.0
+        cluster.run(5.0)  # past the window
+        assert cluster.network.delay_for("gossip", cluster.now) == 1.0
+
+    def test_spike_factor_below_one_never_speeds_up(self):
+        cluster = make_cluster(spike_factor=0.5)
+        DelaySpike(start=0.0, end=5.0).install(cluster)
+        cluster.run(1.0)
+        assert cluster.network.delay_for("gossip", cluster.now) == 1.0
+
+    def test_end_time_and_validation(self):
+        assert DelaySpike(start=1.0, end=4.0).end_time() == 4.0
+        with pytest.raises(ValueError):
+            DelaySpike(start=4.0, end=4.0).install(make_cluster())
+
+
+class TestFaultSchedule:
+    def test_add_chains_and_install_installs_everything(self):
+        cluster = make_cluster()
+        schedule = (
+            FaultSchedule()
+            .add(ReplicaCrash("r0", at=1.0, recover_at=3.0))
+            .add(GossipOutage("r1", start=2.0, end=5.0))
+            .add(DelaySpike(start=0.5, end=1.5))
+        )
+        assert len(schedule.faults) == 3
+        schedule.install(cluster)
+        cluster.run(2.5)
+        assert "r0" in cluster._crashed
+        assert "r1" in cluster.network.partitioned
+        cluster.run(3.0)
+        assert "r0" not in cluster._crashed
+        assert "r1" not in cluster.network.partitioned
+
+    def test_last_fault_time_is_the_max_end_time(self):
+        schedule = (
+            FaultSchedule()
+            .add(ReplicaCrash("r0", at=1.0, recover_at=12.0))
+            .add(DelaySpike(start=2.0, end=4.0))
+        )
+        assert schedule.last_fault_time() == 12.0
+
+    def test_empty_schedule(self):
+        schedule = FaultSchedule()
+        assert schedule.last_fault_time() == 0.0
+        cluster = make_cluster()
+        schedule.install(cluster)  # no-op besides starting the cluster
+        assert cluster._gossip_started
