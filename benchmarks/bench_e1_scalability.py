@@ -14,7 +14,7 @@ from repro.datatypes import CounterType
 from repro.sim.cluster import SimulatedCluster, SimulationParams
 from repro.sim.workload import WorkloadSpec, run_workload
 
-from conftest import monotonically_nondecreasing, print_table
+from conftest import emit_bench_json, monotonically_nondecreasing, print_table
 
 SERVICE_TIME = 0.4
 CLIENTS_PER_REPLICA = 2
@@ -64,6 +64,12 @@ def test_e1_throughput_scales_with_replicas(benchmark):
     series = [throughputs[n] for n in counts]
     assert monotonically_nondecreasing(series, slack=0.05)
     assert throughputs[10] >= 3.0 * throughputs[2]
+
+    emit_bench_json("E1", {
+        "throughput_by_replicas": {n: throughputs[n] for n in counts},
+        "centralized_throughput": centralized,
+        "speedup_2_to_10": throughputs[10] / throughputs[2],
+    })
 
     # Wall-clock measurement of one representative configuration.
     benchmark(run_replica_count, 4, 1)

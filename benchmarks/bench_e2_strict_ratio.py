@@ -11,7 +11,7 @@ from repro.datatypes import CounterType
 from repro.sim.cluster import SimulatedCluster, SimulationParams
 from repro.sim.workload import WorkloadSpec, run_workload
 
-from conftest import monotonically_nondecreasing, print_table
+from conftest import emit_bench_json, monotonically_nondecreasing, print_table
 
 PARAMS = SimulationParams(df=1.0, dg=1.0, gossip_period=2.0)
 
@@ -52,5 +52,10 @@ def test_e2_latency_grows_linearly_with_strict_fraction(benchmark):
     midpoint = latencies[0.5]
     linear_prediction = (latencies[0.0] + latencies[1.0]) / 2
     assert abs(midpoint - linear_prediction) / linear_prediction < 0.35
+
+    emit_bench_json("E2", {
+        "mean_latency_by_strict_fraction": latencies,
+        "slowdown_all_strict": latencies[1.0] / latencies[0.0],
+    })
 
     benchmark(run_strict_fraction, 0.5, 1)

@@ -22,7 +22,7 @@ from repro.datatypes import CounterType
 from repro.sim.cluster import SimulatedCluster, SimulationParams
 from repro.sim.workload import WorkloadSpec, run_workload
 
-from conftest import print_table
+from conftest import emit_bench_json, print_table
 
 PARAMS = SimulationParams(df=1.0, dg=2.0, gossip_period=3.0, frontend_policy="round_robin")
 TIMING = TimingAssumptions(df=PARAMS.df, dg=PARAMS.dg, gossip_period=PARAMS.gossip_period)
@@ -69,5 +69,15 @@ def test_e3_all_responses_within_theorem_9_3_bounds(benchmark):
     assert all(summary[name]["count"] > 0 for name in summary)
     # The class ordering of the bound table is reflected in the measurements.
     assert summary["nonstrict_no_prev"]["max"] <= summary["strict"]["bound"]
+
+    emit_bench_json("E3", {
+        "bound_violations": len(violations),
+        "per_class": {
+            name: {"bound": entry["bound"], "max": entry["max"],
+                   "mean": entry["mean"], "count": entry["count"]}
+            for name, entry in summary.items()
+        },
+        "throughput": result.throughput,
+    })
 
     benchmark(run_mixed_workload, 1)

@@ -14,7 +14,7 @@ from repro.sim.cluster import SimulatedCluster, SimulationParams
 from repro.sim.faults import FaultSchedule, GossipOutage
 from repro.sim.workload import WorkloadSpec, run_workload
 
-from conftest import print_table
+from conftest import emit_bench_json, print_table
 
 PARAMS = SimulationParams(df=1.0, dg=1.0, gossip_period=2.0, retransmit_interval=2.0)
 TIMING = TimingAssumptions(df=PARAMS.df, dg=PARAMS.dg, gossip_period=PARAMS.gossip_period)
@@ -61,5 +61,13 @@ def test_e4_bounds_recover_after_the_outage(benchmark):
     assert len(violations_from_request) > 0
     # ...but every response is within delta(x) of the resume time.
     assert violations_from_resume == []
+
+    emit_bench_json("E4", {
+        "completed": result.metrics.completed,
+        "violations_from_request": len(violations_from_request),
+        "violations_from_resume": len(violations_from_resume),
+        "max_latency": result.metrics.latency_summary().maximum,
+        "throughput": result.throughput,
+    })
 
     benchmark(run_with_outage, 1)

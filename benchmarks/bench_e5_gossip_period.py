@@ -15,7 +15,7 @@ from repro.datatypes import CounterType
 from repro.sim.cluster import SimulatedCluster, SimulationParams
 from repro.sim.workload import WorkloadSpec, run_workload
 
-from conftest import monotonically_nondecreasing, print_table
+from conftest import emit_bench_json, monotonically_nondecreasing, print_table
 
 
 def run_gossip_period(gossip_period: float, seed: int = 0):
@@ -62,5 +62,12 @@ def test_e5_strict_latency_tracks_the_gossip_period(benchmark):
     assert monotonically_nondecreasing(stab_series, slack=0.05)
     assert strict_series[-1] > 2 * strict_series[0] * 0.9
     assert max(nonstrict_series) <= 2.0 + 1e-9
+
+    emit_bench_json("E5", {
+        "gossip_periods": periods,
+        "strict_mean_latency": strict_series,
+        "nonstrict_mean_latency": nonstrict_series,
+        "stabilization_mean": stab_series,
+    })
 
     benchmark(run_gossip_period, 2.0, 1)

@@ -17,7 +17,7 @@ from repro.datatypes import GSetType
 from repro.sim.cluster import SimulatedCluster, SimulationParams
 from repro.sim.workload import WorkloadSpec, run_workload
 
-from conftest import print_table
+from conftest import emit_bench_json, print_table
 
 PARAMS = SimulationParams(df=1.0, dg=1.0, gossip_period=2.0)
 
@@ -93,5 +93,17 @@ def test_e6_memoization_and_commutativity_cut_recomputation(benchmark):
     # External behaviour is unchanged for the memoizing variant (same values
     # for the identical deterministic workload).
     assert memo["values"] == plain["values"]
+
+    emit_bench_json("E6", {
+        "value_applications": {
+            name: outcomes[name]["value_applications"] for name, _f in variants
+        },
+        "applications_per_response": {
+            name: outcomes[name]["per_response"] for name, _f in variants
+        },
+        "total_applications": {
+            name: outcomes[name]["total_applications"] for name, _f in variants
+        },
+    })
 
     benchmark(run_variant, MemoizedReplicaCore, 1)

@@ -23,7 +23,7 @@ from repro.datatypes import CounterType
 from repro.sim.cluster import SimulatedCluster, SimulationParams
 from repro.sim.workload import WorkloadSpec, run_workload
 
-from conftest import print_table
+from conftest import emit_bench_json, print_table
 
 PARAMS = SimulationParams(df=1.0, dg=1.0, gossip_period=2.0, service_time=0.05)
 NUM_REPLICAS = 3
@@ -83,5 +83,11 @@ def test_e7_esds_fast_path_beats_strongly_consistent_baselines(benchmark):
     assert results["ladin_lazy"].mean_latency <= 2.0 * esds_fast
     # Full consistency costs: all-strict ESDS is the slowest configuration.
     assert results["esds_strict"].mean_latency > results["primary_copy"].mean_latency
+
+    emit_bench_json("E7", {
+        "mean_latency": {name: results[name].mean_latency for name in systems},
+        "p95_latency": {name: results[name].latency_summary().p95 for name in systems},
+        "throughput": {name: results[name].throughput for name in systems},
+    })
 
     benchmark(run_system, "esds_nonstrict", 1)

@@ -16,7 +16,7 @@ from repro.datatypes import CounterType
 from repro.sim.cluster import SimulatedCluster, SimulationParams
 from repro.sim.workload import WorkloadSpec, run_workload
 
-from conftest import print_table
+from conftest import emit_bench_json, print_table
 
 DURATION_OPS = 20
 
@@ -112,6 +112,15 @@ def test_e8_delta_gossip_reduces_payload_at_scale():
     full8, delta8 = outcomes[8]
     assert delta8["payload"] < full8["payload"]
     assert delta8["payload_per_gossip"] < 0.75 * full8["payload_per_gossip"]
+
+    emit_bench_json("E8", {
+        "gossip_messages_by_replicas": {
+            n: outcomes[n][0]["gossip"] for n in counts
+        },
+        "full_payload_by_replicas": {n: outcomes[n][0]["payload"] for n in counts},
+        "delta_payload_by_replicas": {n: outcomes[n][1]["payload"] for n in counts},
+        "delta_over_full_at_8": delta8["payload"] / max(full8["payload"], 1),
+    })
 
 
 def test_e8_incremental_gossip_shrinks_payload():

@@ -19,7 +19,7 @@ from repro.sim.cluster import SimulationParams
 from repro.sim.sharded import ShardedCluster
 from repro.sim.workload import KeyedWorkloadSpec, run_keyed_workload
 
-from conftest import monotonically_nondecreasing, print_table
+from conftest import emit_bench_json, monotonically_nondecreasing, print_table
 
 REPLICAS_PER_SHARD = 3
 CLIENTS_PER_SHARD = 3
@@ -95,6 +95,14 @@ def test_e9_throughput_scales_with_shards(benchmark):
     print(f"imbalance: uniform {uniform.metrics.imbalance():.2f}, "
           f"zipfian {skewed.metrics.imbalance():.2f}")
     assert skewed.metrics.imbalance() >= uniform.metrics.imbalance()
+
+    emit_bench_json("E9", {
+        "throughput_by_shards": {n: results[n].throughput for n in counts},
+        "speedup_1_to_4": series[-1] / series[0],
+        "imbalance_uniform": uniform.metrics.imbalance(),
+        "imbalance_zipfian": skewed.metrics.imbalance(),
+        "peak_tracked_ops": {n: results[n].metrics.peak_tracked_ops() for n in counts},
+    })
 
     # Wall-clock measurement of one representative configuration.
     benchmark(run_shard_count, 2, 1)

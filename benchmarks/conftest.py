@@ -9,11 +9,51 @@ Each module prints the table/series the paper reports and also exposes a
 
 produces both the reproduction tables (on stdout) and wall-clock timings
 (the local ``pytest.ini`` widens collection to the ``bench_*.py`` modules).
+
+Besides the stdout tables, every experiment writes a machine-readable
+``BENCH_E<N>.json`` next to this file (override the directory with
+``BENCH_OUTPUT_DIR``) via :func:`emit_bench_json`, so the perf trajectory —
+ops/s, message counts, payload sizes, peak replica state — can be tracked
+across commits and uploaded as CI artifacts.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Sequence
+import json
+import math
+import os
+from pathlib import Path
+from typing import Any, Dict, Iterable, List, Mapping, Sequence
+
+BENCH_OUTPUT_DIR = Path(os.environ.get("BENCH_OUTPUT_DIR", Path(__file__).resolve().parent))
+
+
+def _jsonable(value: Any) -> Any:
+    """Coerce metric values into JSON-safe primitives (keys become strings,
+    NaN becomes null, unknown objects become their repr)."""
+    if isinstance(value, Mapping):
+        return {str(key): _jsonable(item) for key, item in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(item) for item in value]
+    if isinstance(value, float):
+        return None if math.isnan(value) else value
+    if isinstance(value, (int, str, bool)) or value is None:
+        return value
+    return repr(value)
+
+
+def emit_bench_json(experiment: str, metrics: Dict[str, Any]) -> Path:
+    """Write one experiment's headline metrics to ``BENCH_<EXPERIMENT>.json``.
+
+    The schema is deliberately flat and stable: ``{"experiment": ...,
+    "metrics": {...}}``.  Returns the path written.
+    """
+    tag = experiment.upper()
+    BENCH_OUTPUT_DIR.mkdir(parents=True, exist_ok=True)
+    path = BENCH_OUTPUT_DIR / f"BENCH_{tag}.json"
+    payload = {"experiment": tag, "metrics": _jsonable(metrics)}
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return path
 
 
 def print_table(title: str, headers: Sequence[str], rows: Iterable[Sequence]) -> None:

@@ -57,7 +57,9 @@ from repro.datatypes import (
 from repro.spec import EsdsSpecI, EsdsSpecII, SafeUsers, TraceRecord, Users
 from repro.algorithm import (
     AlgorithmSystem,
+    Checkpoint,
     CommuteReplicaCore,
+    CompactionPolicy,
     FrontEndCore,
     GossipMessage,
     IncrementalReplicaCore,
@@ -133,6 +135,8 @@ __all__ = [
     "TraceRecord",
     # algorithm
     "Label",
+    "Checkpoint",
+    "CompactionPolicy",
     "ReplicaCore",
     "IncrementalReplicaCore",
     "MemoizedReplicaCore",

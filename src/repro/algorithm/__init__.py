@@ -21,6 +21,9 @@ Modules:
   value-replay cache;
 * :mod:`repro.algorithm.delta` — per-peer seqno/ack/epoch bookkeeping for
   delta gossip (an ack-based, crash-safe form of Section 10.4);
+* :mod:`repro.algorithm.checkpoint` — stability-driven checkpoint compaction
+  (the agreed stable prefix of Invariant 7.2 / Theorem 5.8 collapsed into a
+  base state, bounding replica memory by the unstable suffix);
 * :mod:`repro.algorithm.memoized` — the memoizing replica ESDS-Alg'
   (Section 10.1);
 * :mod:`repro.algorithm.commute` — the ``Commute`` replica exploiting
@@ -32,6 +35,12 @@ Modules:
 """
 
 from repro.algorithm.labels import Label, LabelGenerator, label_sort_key
+from repro.algorithm.checkpoint import (
+    Checkpoint,
+    CompactionLedger,
+    CompactionPolicy,
+    OpIdSummary,
+)
 from repro.algorithm.delta import GossipSnapshot, PeerInState, PeerOutState
 from repro.algorithm.messages import GossipMessage, RequestMessage, ResponseMessage
 from repro.algorithm.channel import Channel, LossyChannel
@@ -46,6 +55,10 @@ __all__ = [
     "Label",
     "LabelGenerator",
     "label_sort_key",
+    "Checkpoint",
+    "CompactionLedger",
+    "CompactionPolicy",
+    "OpIdSummary",
     "GossipMessage",
     "GossipSnapshot",
     "PeerInState",

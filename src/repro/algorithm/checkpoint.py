@@ -1,0 +1,343 @@
+"""Stability-driven checkpoint compaction (bounded-memory replicas).
+
+The paper's central structural fact — the stable prefix is totally ordered,
+agreed at every replica, and never reordered (Invariant 7.2 together with
+Theorem 5.8) — means that once an operation is *stable everywhere* its
+position in the eventual total order, and therefore its effect on the data
+state, is fixed forever.  A replica may then collapse the stable prefix of
+its label order into a :class:`Checkpoint`:
+
+* ``base_state`` — the data state obtained by applying the compacted prefix
+  in label order from the initial state;
+* ``frontier`` — the label of the last compacted operation; every label the
+  replica still tracks is strictly greater;
+* ``ids`` — a compact :class:`OpIdSummary` of the identifiers folded in
+  (per-client seqno intervals, which coalesce to a handful of ranges in
+  steady state);
+* ``values`` — the response values of recently compacted operations, kept so
+  a retransmitted request for an already-compacted operation can still be
+  answered (the value of a compacted operation can never change again, by
+  the same argument as Lemma 10.2).
+
+After compaction the per-operation records — the descriptor in ``rcvd``, the
+per-replica ``done[i]`` / ``stable[i]`` memberships, the label map entry, the
+stable-storage label, and the replay-cache position — are dropped, so the
+replica's tracked state is proportional to the *unstable suffix*, not to the
+total history.  Value computation replays only the suffix on top of
+``base_state``.
+
+Checkpoints travel on gossip: a full-state (or frontier-advancing delta)
+message carries the sender's current checkpoint, which tells the receiver
+that everything at or below the frontier is stable at *every* replica.  A
+receiver that still tracks those operations merely marks them stable and
+compacts them with its own policy; a receiver that is missing some of them —
+a replica recovering from a crash with volatile memory (Section 9.3) — adopts
+the checkpoint wholesale as its new base instead of replaying the full
+history.  The checkpoint itself is part of the replica's stable storage: a
+crash never loses it, and recovery rebuilds from it.
+
+Checkpoints are functional values: compaction produces a *new*
+:class:`Checkpoint`, so a reference captured by an in-flight gossip message
+or an acknowledged delta basis stays internally consistent forever.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from dataclasses import dataclass, field
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Iterable,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+from repro.algorithm.labels import Label
+from repro.common import ConfigurationError, InvariantViolation, OperationId
+from repro.core.operations import OperationDescriptor
+
+
+def _evict_oldest(values: Dict[OperationId, Any], retention: Optional[int]) -> Dict[OperationId, Any]:
+    """Bound an insertion-ordered (oldest-first) value ledger in place."""
+    if retention is not None:
+        while len(values) > retention:
+            del values[next(iter(values))]
+    return values
+
+
+class OpIdSummary:
+    """An immutable, compact summary of a set of :class:`OperationId` values.
+
+    Identifiers are ``(client, seqno)`` pairs; the summary stores, per
+    client, a sorted tuple of disjoint inclusive ``(lo, hi)`` seqno
+    intervals.  Compaction folds operations roughly in per-client seqno
+    order, so the intervals coalesce: in steady state the summary holds one
+    interval per client regardless of how many operations were compacted.
+
+    Caveat for sharded deployments: the service layer mints globally unique
+    per-client seqnos *across* shards, so one shard's compacted prefix sees
+    a gappy per-client subsequence whose holes belong to other shards
+    forever — its intervals cannot coalesce, and the summary grows with the
+    shard's history (two integers per operation, still an order of
+    magnitude below the 2n+3 per-operation records compaction drops, but
+    not O(clients)).  Truly O(clients) summaries for sharded deployments
+    need per-shard-contiguous identifier minting, a routing-layer change
+    left for a future PR.
+    """
+
+    __slots__ = ("_ranges", "_count")
+
+    def __init__(self, ranges: Optional[Mapping[str, Sequence[Tuple[int, int]]]] = None) -> None:
+        normalized: Dict[str, Tuple[Tuple[int, int], ...]] = {}
+        count = 0
+        for client, intervals in (ranges or {}).items():
+            merged = self._normalize(intervals)
+            if merged:
+                normalized[client] = merged
+                count += sum(hi - lo + 1 for lo, hi in merged)
+        self._ranges = normalized
+        self._count = count
+
+    @staticmethod
+    def _normalize(intervals: Sequence[Tuple[int, int]]) -> Tuple[Tuple[int, int], ...]:
+        merged: List[Tuple[int, int]] = []
+        for lo, hi in sorted(intervals):
+            if merged and lo <= merged[-1][1] + 1:
+                merged[-1] = (merged[-1][0], max(merged[-1][1], hi))
+            else:
+                merged.append((lo, hi))
+        return tuple(merged)
+
+    # -- queries ---------------------------------------------------------------
+
+    @property
+    def count(self) -> int:
+        """Number of identifiers summarized."""
+        return self._count
+
+    @property
+    def interval_count(self) -> int:
+        """Number of stored intervals (the summary's actual size)."""
+        return sum(len(intervals) for intervals in self._ranges.values())
+
+    def __contains__(self, op_id: OperationId) -> bool:
+        intervals = self._ranges.get(op_id.client)
+        if not intervals:
+            return False
+        index = bisect_right(intervals, (op_id.seqno, float("inf"))) - 1
+        if index < 0:
+            return False
+        lo, hi = intervals[index]
+        return lo <= op_id.seqno <= hi
+
+    def __len__(self) -> int:
+        return self._count
+
+    def __bool__(self) -> bool:
+        return self._count > 0
+
+    def issubset(self, other: "OpIdSummary") -> bool:
+        """Every identifier of this summary is in *other*."""
+        for client, intervals in self._ranges.items():
+            theirs = other._ranges.get(client)
+            if theirs is None:
+                return False
+            for lo, hi in intervals:
+                index = bisect_right(theirs, (lo, float("inf"))) - 1
+                if index < 0 or not (theirs[index][0] <= lo and hi <= theirs[index][1]):
+                    return False
+        return True
+
+    def intersection_count(self, other: "OpIdSummary") -> int:
+        """Number of identifiers present in both summaries."""
+        total = 0
+        for client, intervals in self._ranges.items():
+            theirs = other._ranges.get(client)
+            if not theirs:
+                continue
+            i = j = 0
+            while i < len(intervals) and j < len(theirs):
+                lo = max(intervals[i][0], theirs[j][0])
+                hi = min(intervals[i][1], theirs[j][1])
+                if lo <= hi:
+                    total += hi - lo + 1
+                if intervals[i][1] < theirs[j][1]:
+                    i += 1
+                else:
+                    j += 1
+        return total
+
+    # -- construction ----------------------------------------------------------
+
+    def with_ids(self, ids: Iterable[OperationId]) -> "OpIdSummary":
+        """A new summary additionally covering *ids*."""
+        ranges: Dict[str, List[Tuple[int, int]]] = {
+            client: list(intervals) for client, intervals in self._ranges.items()
+        }
+        for op_id in ids:
+            ranges.setdefault(op_id.client, []).append((op_id.seqno, op_id.seqno))
+        return OpIdSummary(ranges)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"OpIdSummary({self._count} ids, {self.interval_count} intervals)"
+
+
+@dataclass(frozen=True)
+class Checkpoint:
+    """The collapsed stable prefix of one replica (see module docstring).
+
+    Immutable: :meth:`extend` returns a new checkpoint.  ``values`` maps
+    recently compacted identifiers to their fixed response values, in label
+    (insertion) order so retention eviction drops the oldest first.
+    """
+
+    base_state: Any
+    frontier: Optional[Label]
+    ids: OpIdSummary
+    values: Mapping[OperationId, Any]
+
+    @classmethod
+    def empty(cls, initial_state: Any) -> "Checkpoint":
+        """The checkpoint of a replica that has compacted nothing."""
+        return cls(base_state=initial_state, frontier=None, ids=OpIdSummary(), values={})
+
+    @property
+    def count(self) -> int:
+        """Number of operations folded into the base state."""
+        return self.ids.count
+
+    def covers(self, op_id: OperationId) -> bool:
+        """Whether *op_id* has been folded into this checkpoint."""
+        return op_id in self.ids
+
+    def extend(
+        self,
+        prefix: Sequence[OperationDescriptor],
+        data_type,
+        labels: Mapping[OperationId, Label],
+        value_retention: Optional[int] = None,
+    ) -> Tuple["Checkpoint", int]:
+        """Fold *prefix* (the next label-order stable operations) in.
+
+        Returns ``(new_checkpoint, operator_applications)``.  *labels* must
+        hold the replica's current label for each prefix operation; the last
+        one becomes the new frontier.
+        """
+        state = self.base_state
+        values = dict(self.values)
+        applications = 0
+        for operation in prefix:
+            state, value = data_type.apply(state, operation.op)
+            applications += 1
+            values[operation.id] = value
+        _evict_oldest(values, value_retention)
+        frontier = labels[prefix[-1].id] if prefix else self.frontier
+        return (
+            Checkpoint(
+                base_state=state,
+                frontier=frontier,
+                ids=self.ids.with_ids(x.id for x in prefix),
+                values=values,
+            ),
+            applications,
+        )
+
+    def merged_values(
+        self, newer_values: Mapping[OperationId, Any], value_retention: Optional[int] = None
+    ) -> Dict[OperationId, Any]:
+        """This checkpoint's retained values extended with *newer_values*
+        (used when a recovering replica adopts a peer's checkpoint wholesale
+        but wants to keep any retained values of its own).
+
+        This checkpoint covers a *prefix* of the adopted one, so its values
+        are the older entries: they are inserted first, keeping the merged
+        dict oldest-first so that retention eviction — which pops from the
+        front — drops the oldest values, matching the compaction path.
+        Overlapping keys agree by construction (a compacted value is fixed
+        forever), so the overlay direction cannot change any value.
+        """
+        merged = dict(self.values)
+        merged.update(newer_values)
+        return _evict_oldest(merged, value_retention)
+
+    def wire_estimate(self) -> int:
+        """Crude wire-size contribution (for the E8-style payload metric):
+        one state blob plus the interval summary plus the retained values."""
+        return 1 + self.ids.interval_count + len(self.values)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Checkpoint(count={self.count}, frontier={self.frontier})"
+
+
+@dataclass(frozen=True)
+class CompactionPolicy:
+    """When and how aggressively a replica compacts its stable prefix.
+
+    Parameters
+    ----------
+    min_batch:
+        Fold only when at least this many operations are compactable
+        (amortizes the one replay each compaction performs).  A forced
+        compaction (the simulator's interval-driven tick) ignores this.
+    value_retention:
+        How many compacted response values to retain for answering
+        retransmitted requests.  The default keeps the newest 1024 — a wide
+        retransmission window whose memory (and full-state gossip payload)
+        stays bounded, which is the whole point of compaction.  ``None``
+        keeps every value (exact equivalence with an uncompacted replica
+        even under arbitrarily late retransmission, at the cost of an
+        O(history) value ledger); a retransmit that misses a finite window
+        is dropped by the receiving replica — another replica, or a replica
+        where the operation is still pending, answers instead.
+    """
+
+    min_batch: int = 16
+    value_retention: Optional[int] = 1024
+
+    def __post_init__(self) -> None:
+        if self.min_batch < 1:
+            raise ConfigurationError("min_batch must be at least 1")
+        if self.value_retention is not None and self.value_retention < 0:
+            raise ConfigurationError("value_retention must be non-negative or None")
+
+
+class CompactionLedger:
+    """Harness-side record of the system-wide compacted prefix.
+
+    Every replica compacts prefixes of the *same* agreed total order
+    (Invariant 7.2 / Theorem 5.8), so the batches reported by different
+    replicas must tile one shared list.  The ledger verifies this on every
+    record — a mismatch is a live violation of the stable-prefix agreement —
+    and keeps the order, which the replicas themselves deliberately forget:
+    the harness uses it for eventual-order witnesses and base-state audits.
+    """
+
+    def __init__(self) -> None:
+        self.prefix: List[OperationDescriptor] = []
+        self.ids: set = set()
+
+    def record(self, batch: Sequence[OperationDescriptor], checkpoint: Checkpoint) -> None:
+        """Record one replica's compaction of *batch* (its checkpoint after)."""
+        start = checkpoint.count - len(batch)
+        for offset, operation in enumerate(batch):
+            position = start + offset
+            if position < len(self.prefix):
+                if self.prefix[position].id != operation.id:
+                    raise InvariantViolation(
+                        "compacted stable prefixes diverged: position "
+                        f"{position} is {self.prefix[position].id} at one replica "
+                        f"and {operation.id} at another"
+                    )
+            elif position == len(self.prefix):
+                self.prefix.append(operation)
+                self.ids.add(operation.id)
+            else:  # pragma: no cover - defensive; adoption precedes compaction
+                raise InvariantViolation(
+                    f"compaction skipped positions {len(self.prefix)}..{position - 1} "
+                    "of the stable prefix"
+                )

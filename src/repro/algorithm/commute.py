@@ -55,25 +55,41 @@ class CommuteReplicaCore(ReplicaCore):
 
     # ------------------------------------------------------------------ gossip
 
+    def _post_merge(self) -> None:
+        """Compaction is deferred to the end of :meth:`receive_gossip`: the
+        base hook would fold an operation learned in this very message before
+        the ``newly_done`` replay below applies it to ``cs_r``, permanently
+        dropping its effect from the current state."""
+
     def receive_gossip(self, message: GossipMessage) -> None:
         """Merge gossip; newly learned done operations are applied to ``cs_r``
         in an order consistent with the client-specified constraints among
-        them (Fig. 11's receive loop)."""
+        them (Fig. 11's receive loop).  Compaction runs only after that."""
         previously_done = set(self.done_here())
         super().receive_gossip(message)
-        newly_done = self.done_here() - previously_done
-        if newly_done:
-            csc = client_specified_constraints(newly_done)
-            order = topological_total_order(csc, {x.id for x in newly_done})
-            by_id = {x.id: x for x in newly_done}
-            for op_id in order:
-                operation = by_id[op_id]
-                self.current_state, value = self.data_type.apply(
-                    self.current_state, operation.op
-                )
-                self.stats.memoized_applications += 1
-                self.values[operation] = value
+        self._apply_in_csc_order(self.done_here() - previously_done)
         self._memoize_available()
+        if self.compaction is not None:
+            self.maybe_compact()
+
+    def _apply_in_csc_order(self, operations: Set[OperationDescriptor]) -> None:
+        """Fold *operations* into ``cs_r`` in an order consistent with the
+        client-specified constraints among them (sound under the SafeUsers
+        discipline, Lemma 10.6), recording each value.  The applications
+        count as bookkeeping (``memoized_applications``), like every other
+        current-state update of this variant."""
+        if not operations:
+            return
+        csc = client_specified_constraints(operations)
+        order = topological_total_order(csc, {x.id for x in operations})
+        by_id = {x.id: x for x in operations}
+        for op_id in order:
+            operation = by_id[op_id]
+            self.current_state, value = self.data_type.apply(
+                self.current_state, operation.op
+            )
+            self.stats.memoized_applications += 1
+            self.values[operation] = value
 
     # -------------------------------------------------------------- memoization
 
@@ -122,8 +138,14 @@ class CommuteReplicaCore(ReplicaCore):
 
     def response_ready(self, operation: OperationDescriptor) -> bool:
         """Fig. 11 strengthens the strict gate: the operation must also be
-        memoized (its eventual-order value is then fixed)."""
-        if operation not in self.pending or operation not in self.done_here():
+        memoized (its eventual-order value is then fixed).  A retransmitted
+        compacted operation keeps the base-class contract — answerable from
+        the checkpoint's retained values."""
+        if operation not in self.pending:
+            return False
+        if self.is_compacted(operation.id):
+            return operation.id in self.checkpoint.values
+        if operation not in self.done_here():
             return False
         if operation.strict:
             if not self.is_stable_everywhere(operation):
@@ -137,12 +159,47 @@ class CommuteReplicaCore(ReplicaCore):
         return True
 
     def compute_value(self, operation: OperationDescriptor) -> Any:
-        """``v = val_r(x)`` — no replay at response time."""
+        """``v = val_r(x)`` — no replay at response time.  Compacted
+        operations are served from the checkpoint's retained values."""
+        if self.is_compacted(operation.id):
+            return ReplicaCore.compute_value(self, operation)
         if operation not in self.values:
             raise SpecificationError(
                 f"no recorded value for {operation.id} at replica {self.replica_id}"
             )
         return self.values[operation]
+
+    # ------------------------------------------------------ compaction interplay
+
+    def _prepare_compaction(self) -> None:
+        """Fold everything solid into ``ms`` so the compactable prefix is
+        memoized (its eventual-order value recorded) before being dropped."""
+        self._memoize_available()
+
+    def _after_compaction(self, removed) -> None:
+        self.memoized -= removed
+        for operation in removed:
+            self.values.pop(operation, None)
+
+    def _on_crash(self) -> None:
+        """``cs_r`` / ``val_r`` / the memo prefix are volatile: a crash with
+        volatile memory restarts them from the persisted checkpoint's base
+        state (re-learned operations are re-applied by the gossip path)."""
+        self.memoized = set()
+        self.memo_state = self.checkpoint.base_state
+        self.current_state = self.checkpoint.base_state
+        self.values = {}
+
+    def _on_checkpoint_adopted(self) -> None:
+        """Rebuild the derived state after wholesale checkpoint adoption: the
+        remaining done operations are re-applied onto the adopted base in an
+        order consistent with the client-specified constraints (sound under
+        the SafeUsers discipline, Lemma 10.6), and memoization restarts."""
+        self.memoized = set()
+        self.memo_state = self.checkpoint.base_state
+        self.current_state = self.checkpoint.base_state
+        self.values = {}
+        self._apply_in_csc_order(set(self.done_here()))
 
     # ----------------------------------------------------------------- snapshot
 

@@ -33,11 +33,14 @@ when the new epoch has not been observed yet.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, Optional, Set
+from typing import TYPE_CHECKING, Dict, FrozenSet, Optional, Set
 
 from repro.algorithm.labels import Label
 from repro.common import OperationId
 from repro.core.operations import OperationDescriptor
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (checkpoint uses labels)
+    from repro.algorithm.checkpoint import Checkpoint
 
 
 @dataclass(frozen=True)
@@ -46,13 +49,17 @@ class GossipSnapshot:
 
     Retained by the sender until the destination acknowledges the
     corresponding seqno; the acknowledged snapshot becomes the basis that
-    later deltas are computed against.
+    later deltas are computed against.  ``checkpoint`` records the sender's
+    compaction checkpoint at the send point: the payload sets cover only the
+    suffix above its frontier, and comparing it against the current one
+    tells the sender whether a delta must re-advertise the frontier.
     """
 
     received: FrozenSet[OperationDescriptor]
     done: FrozenSet[OperationDescriptor]
     labels: Dict[OperationId, Label]
     stable: FrozenSet[OperationDescriptor]
+    checkpoint: Optional["Checkpoint"] = None
 
 
 @dataclass

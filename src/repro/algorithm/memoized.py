@@ -108,7 +108,10 @@ class MemoizedReplicaCore(ReplicaCore):
 
     def compute_value(self, operation: OperationDescriptor) -> Any:
         """Use the memoized value when available; otherwise replay only the
-        non-memoized suffix starting from ``ms_r`` (Fig. 10's send_rc)."""
+        non-memoized suffix starting from ``ms_r`` (Fig. 10's send_rc).  The
+        value of a compacted operation is served from the checkpoint."""
+        if self.is_compacted(operation.id):
+            return ReplicaCore.compute_value(self, operation)
         if operation not in self.done_here():
             raise SpecificationError(
                 f"cannot compute a value for {operation.id}: not done at {self.replica_id}"
@@ -142,6 +145,38 @@ class MemoizedReplicaCore(ReplicaCore):
         """
         super().receive_gossip(message)
         self.memoize_all_available()
+
+    # ------------------------------------------------------ compaction interplay
+
+    def _prepare_compaction(self) -> None:
+        """Fold everything solid into ``ms`` first, so the compactable prefix
+        (stable everywhere, within solid) is always covered by the memoized
+        prefix when its records are dropped — ``ms`` then remains the state
+        after exactly ``checkpoint + memoized`` in label order."""
+        self.memoize_all_available()
+
+    def _after_compaction(self, removed) -> None:
+        """Compacted operations leave the memoized bookkeeping; their effect
+        is already inside ``ms`` (which equals the checkpoint base plus the
+        remaining memoized prefix) and their values moved to the checkpoint."""
+        self.memoized -= removed
+        for operation in removed:
+            self.memo_values.pop(operation, None)
+
+    def _on_checkpoint_adopted(self) -> None:
+        """After wholesale adoption (crash-recovery catch-up) the old memo
+        prefix no longer matches the history: restart memoization from the
+        adopted base state."""
+        self.memoized = set()
+        self.memo_state = self.checkpoint.base_state
+        self.memo_values = {}
+
+    def _on_crash(self) -> None:
+        """The memo prefix is volatile (its operations were wiped); restart
+        from the persisted checkpoint's base state."""
+        self.memoized = set()
+        self.memo_state = self.checkpoint.base_state
+        self.memo_values = {}
 
     # ----------------------------------------------------------------- snapshot
 

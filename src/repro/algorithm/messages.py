@@ -26,12 +26,15 @@ already holds the basis.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, FrozenSet, Mapping, Optional
+from typing import TYPE_CHECKING, Any, Dict, FrozenSet, Mapping, Optional
 
 from repro.algorithm.delta import GossipSnapshot
 from repro.algorithm.labels import Label, LabelOrInfinity
 from repro.common import INFINITY, OperationId
 from repro.core.operations import OperationDescriptor
+
+if TYPE_CHECKING:  # pragma: no cover - type-only import
+    from repro.algorithm.checkpoint import Checkpoint
 
 
 @dataclass(frozen=True)
@@ -81,7 +84,14 @@ class GossipMessage:
     * ``basis`` — sender-side reference to the acknowledged snapshot the
       delta was computed against.  It is **not** part of the wire payload
       (the receiver provably already holds it); it exists so invariants and
-      message constraints can be checked against the effective knowledge.
+      message constraints can be checked against the effective knowledge;
+    * ``checkpoint`` — the sender's compaction checkpoint
+      (:class:`~repro.algorithm.checkpoint.Checkpoint`), attached to
+      full-state messages and to deltas whose frontier advanced past the
+      acked basis.  It is the catch-up payload for a peer behind the
+      frontier: the payload sets above cover only the suffix, and a receiver
+      missing part of the compacted prefix adopts the checkpoint wholesale
+      instead of a full-history replay.
     """
 
     sender: str
@@ -97,6 +107,7 @@ class GossipMessage:
     ack_stream: Optional[int] = None
     is_delta: bool = False
     basis: Optional[GossipSnapshot] = None
+    checkpoint: Optional["Checkpoint"] = None
 
     @property
     def kind(self) -> str:
@@ -145,11 +156,25 @@ class GossipMessage:
         merged.update(self.labels)
         return merged
 
+    def effective_checkpoint(self) -> Optional["Checkpoint"]:
+        """The checkpoint coverage this message conveys: the attached one
+        (sent when the frontier advanced) or, for a delta, the acknowledged
+        basis's — the receiver provably already holds that one."""
+        if self.checkpoint is not None:
+            return self.checkpoint
+        if self.basis is not None:
+            return self.basis.checkpoint
+        return None
+
     def size_estimate(self) -> int:
         """A crude wire-size metric (number of operation references carried),
         used by the message-overhead benchmark (E8).  Counts only transmitted
-        fields — a delta's basis is never transmitted."""
-        return len(self.received) + len(self.done) + len(self.labels) + len(self.stable)
+        fields — a delta's basis is never transmitted; an attached checkpoint
+        is (one state blob plus its interval summary and retained values)."""
+        size = len(self.received) + len(self.done) + len(self.labels) + len(self.stable)
+        if self.checkpoint is not None:
+            size += self.checkpoint.wire_estimate()
+        return size
 
 
 def incremental_gossip(previous: GossipMessage, current: GossipMessage) -> GossipMessage:
@@ -159,7 +184,10 @@ def incremental_gossip(previous: GossipMessage, current: GossipMessage) -> Gossi
 
     The receiver must union rather than replace, which
     :meth:`repro.algorithm.replica.ReplicaCore.receive_gossip` already does,
-    so incremental messages are drop-in compatible.  The production path in
+    so incremental messages are drop-in compatible.  With compaction, an
+    operation folded between the two messages leaves *current*'s sets
+    entirely; its stability travels via the carried-over checkpoint instead
+    of a set difference.  The production path in
     :meth:`repro.algorithm.replica.ReplicaCore.make_gossip` instead computes
     deltas against *acknowledged* state (see :mod:`repro.algorithm.delta`),
     which stays correct over the paper's reorderable, lossy channels.
@@ -175,4 +203,5 @@ def incremental_gossip(previous: GossipMessage, current: GossipMessage) -> Gossi
         },
         stable=current.stable - previous.stable,
         is_delta=True,
+        checkpoint=current.checkpoint,
     )

@@ -32,13 +32,24 @@ default), and delta gossip (:meth:`ReplicaCore.configure_delta_gossip`), in
 which each message carries only the knowledge the destination has not yet
 acknowledged — see :mod:`repro.algorithm.delta` for the seqno/ack/epoch
 machinery and the argument that the two induce identical executions.
+
+Orthogonally to both, :meth:`ReplicaCore.configure_compaction` enables
+stability-driven checkpoint compaction (:mod:`repro.algorithm.checkpoint`):
+the stable prefix of the label order is folded into a checkpoint state and
+its per-operation records are dropped, bounding the replica's tracked state
+by the unstable suffix instead of the total history.  The checkpoint is part
+of the replica's stable storage (it survives a crash with volatile memory),
+and it rides on full-state / frontier-advancing gossip so a peer that fell
+behind the frontier catches up from the checkpoint instead of the full
+history.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, Iterable, List, Optional, Sequence, Set, Tuple
+from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
+from repro.algorithm.checkpoint import Checkpoint, CompactionPolicy
 from repro.algorithm.delta import GossipSnapshot, PeerInState, PeerOutState
 from repro.algorithm.labels import Label, LabelGenerator, LabelOrInfinity, label_min, label_sort_key
 from repro.algorithm.messages import GossipMessage, RequestMessage, ResponseMessage
@@ -61,6 +72,14 @@ class ReplicaStats:
     #: Number of operator applications performed while memoizing / updating
     #: the current state (counted separately so the ablation can compare).
     memoized_applications: int = 0
+    #: Number of full re-sorts performed by :meth:`ReplicaCore.done_order`
+    #: (the sorted-suffix cache turns almost all of them into appends).
+    done_order_sorts: int = 0
+    #: Checkpoint compactions performed and operations folded into them.
+    compactions: int = 0
+    compacted_operations: int = 0
+    #: Operator applications spent folding operations into the checkpoint.
+    compaction_applications: int = 0
 
     def total_applications(self) -> int:
         return self.value_applications + self.memoized_applications
@@ -124,6 +143,24 @@ class ReplicaCore:
         self._replay_states: List[Any] = []
         self._replay_values: Dict[OperationId, Any] = {}
 
+        #: Stability-driven checkpoint compaction (Section 7.2 / Theorem 5.8
+        #: made operational — see :mod:`repro.algorithm.checkpoint`).  The
+        #: checkpoint lives in stable storage: it survives volatile crashes.
+        self.checkpoint: Checkpoint = Checkpoint.empty(data_type.initial_state())
+        self.compaction: Optional[CompactionPolicy] = None
+        #: Harness hook invoked after each compaction with the folded batch
+        #: (in label order) and the new checkpoint; used by the system/sim
+        #: layers to keep the shared compacted-prefix ledger.
+        self.on_compact: Optional[Callable[[List[OperationDescriptor], Checkpoint], None]] = None
+
+        #: Sorted-suffix cache for :meth:`done_order`: the done set in label
+        #: order, kept valid across ``do_it`` (append — the fresh label
+        #: exceeds every existing one) and compaction (prefix trim), and
+        #: invalidated when gossip lowers an existing label or adds done
+        #: operations.
+        self._order_cache: List[OperationDescriptor] = []
+        self._order_dirty: bool = True
+
         self.stats = ReplicaStats()
 
     # ------------------------------------------------------------ configuration
@@ -151,6 +188,20 @@ class ReplicaCore:
         if not enabled:
             self._reset_replay_cache()
 
+    def configure_compaction(
+        self, policy: Optional[CompactionPolicy] = None, enabled: bool = True
+    ) -> None:
+        """Switch stability-driven checkpoint compaction on or off.
+
+        With *enabled* true, the replica opportunistically folds the
+        stable-everywhere prefix of its label order into the checkpoint after
+        gossip merges (once at least ``policy.min_batch`` operations are
+        compactable), dropping their per-operation records.  Disabling stops
+        further compaction but keeps the existing checkpoint — already-folded
+        operations cannot be un-compacted.
+        """
+        self.compaction = (policy or CompactionPolicy()) if enabled else None
+
     # ------------------------------------------------------------------ labels
 
     def label_of(self, op_id: OperationId) -> LabelOrInfinity:
@@ -177,26 +228,62 @@ class ReplicaCore:
         """``stable_r[r]`` — the operations stable at this replica."""
         return self.stable[self.replica_id]
 
+    def is_compacted(self, op_id: OperationId) -> bool:
+        """Whether *op_id* has been folded into the checkpoint (its record
+        dropped; it is received, done and stable at every replica, and its
+        value is fixed forever)."""
+        return self.checkpoint.covers(op_id)
+
     def done_order(self) -> List[OperationDescriptor]:
-        """The operations done at this replica in label (``lc_r``) order."""
-        return sorted(self.done_here(), key=lambda x: label_sort_key(self.label_of(x.id)))
+        """The *tracked* (non-compacted) operations done at this replica, in
+        label (``lc_r``) order.
+
+        Served from the sorted-suffix cache; callers must treat the returned
+        list as read-only.  ``do_it`` appends in place (a fresh label exceeds
+        every existing one) and compaction trims the folded prefix, so a full
+        re-sort only happens when gossip actually reorders the suffix.
+        """
+        if self._order_dirty:
+            self._order_cache = sorted(
+                self.done_here(), key=lambda x: label_sort_key(self.label_of(x.id))
+            )
+            self._order_dirty = False
+            self.stats.done_order_sorts += 1
+        return self._order_cache
 
     # ------------------------------------------------------------- request path
 
     def receive_request(self, message: RequestMessage) -> None:
-        """``receive_cr(("request", x))``: record the pending request."""
+        """``receive_cr(("request", x))``: record the pending request.
+
+        A retransmitted request for an already-compacted operation is queued
+        for a response without re-tracking the operation: its value is fixed
+        and (retention permitting) retained by the checkpoint.  When the
+        value has already aged out of a finite retention window the request
+        is dropped instead — this replica can provably never answer it, and
+        a permanently unanswerable ``pending`` entry would grow without
+        bound under retransmission.
+        """
         operation = message.operation
+        if self.is_compacted(operation.id):
+            if operation.id in self.checkpoint.values:
+                self.pending.add(operation)
+                self._state_version += 1
+            return
         self.pending.add(operation)
         self.rcvd.add(operation)
         self._state_version += 1
 
     def can_do(self, operation: OperationDescriptor) -> bool:
         """Precondition of ``do_it_r(x, l)``: received, not yet done here, and
-        every operation in ``prev`` already done here."""
+        every operation in ``prev`` already done here (compacted operations
+        count as done — they are done everywhere)."""
+        if self.is_compacted(operation.id):
+            return False
         if operation not in self.rcvd or operation in self.done_here():
             return False
         done_ids = {x.id for x in self.done_here()}
-        return operation.prev <= done_ids
+        return all(p in done_ids or self.is_compacted(p) for p in operation.prev)
 
     def doable_operations(self) -> List[OperationDescriptor]:
         """Operations for which ``do_it`` is currently enabled."""
@@ -224,9 +311,15 @@ class ReplicaCore:
                 raise SpecificationError("replicas may only assign labels from their own set")
             if any(label <= other for other in existing if other is not INFINITY):
                 raise SpecificationError("new label must exceed labels of done operations")
+            if self.checkpoint.frontier is not None and label <= self.checkpoint.frontier:
+                raise SpecificationError("new label must exceed the compaction frontier")
         self.done_here().add(operation)
         self.labels[operation.id] = label
         self._stable_storage[operation.id] = label
+        if not self._order_dirty:
+            # The fresh label exceeds every label of the done set, so the
+            # sorted order extends by exactly this operation.
+            self._order_cache.append(operation)
         self._state_version += 1
         self.stats.do_it_count += 1
         return label
@@ -249,14 +342,33 @@ class ReplicaCore:
 
     # ------------------------------------------------------------ response path
 
+    def knows_stable(self, operation: OperationDescriptor) -> bool:
+        """``x in stable_r[r]`` on the checkpoint + suffix view — the
+        predicate convergence checks and stabilization tracking quantify
+        over (a compacted operation is stable here by construction)."""
+        return operation in self.stable_here() or self.is_compacted(operation.id)
+
     def is_stable_everywhere(self, operation: OperationDescriptor) -> bool:
         """``x in  ⋂_i stable_r[i]`` — this replica knows the operation is
-        stable at every replica (the gate for strict responses)."""
+        stable at every replica (the gate for strict responses).  Compaction
+        only ever folds operations already known stable everywhere, so a
+        compacted operation passes by construction."""
+        if self.is_compacted(operation.id):
+            return True
         return all(operation in self.stable[i] for i in self.replica_ids)
 
     def response_ready(self, operation: OperationDescriptor) -> bool:
-        """Precondition of ``send_rc(("response", x, v))``."""
-        if operation not in self.pending or operation not in self.done_here():
+        """Precondition of ``send_rc(("response", x, v))``.
+
+        A compacted operation is answerable exactly when its fixed value is
+        still retained by the checkpoint (always, under the default unbounded
+        ``value_retention``).
+        """
+        if operation not in self.pending:
+            return False
+        if self.is_compacted(operation.id):
+            return operation.id in self.checkpoint.values
+        if operation not in self.done_here():
             return False
         if operation.strict and not self.is_stable_everywhere(operation):
             return False
@@ -274,19 +386,29 @@ class ReplicaCore:
         constraints totally order ``done_r[r]``, so the value is unique and is
         obtained by replaying the done operations in label order.
 
-        By default the replay starts from the initial state every time (the
-        paper's unoptimized path); with incremental replay enabled, the
-        longest prefix of the current label order that matches the previous
-        replay is reused from its checkpoint and only the changed suffix is
-        re-applied.
+        By default the replay starts from the checkpoint base state (the
+        initial state while nothing has been compacted — the paper's
+        unoptimized path) and covers the tracked suffix; with incremental
+        replay enabled, the longest prefix of the current label order that
+        matches the previous replay is reused from its cached state and only
+        the changed tail is re-applied.  The value of a compacted operation
+        is fixed and served from the checkpoint's retained values.
         """
+        if self.is_compacted(operation.id):
+            try:
+                return self.checkpoint.values[operation.id]
+            except KeyError:
+                raise SpecificationError(
+                    f"value of compacted operation {operation.id} was evicted at "
+                    f"{self.replica_id} (raise CompactionPolicy.value_retention)"
+                ) from None
         if operation not in self.done_here():
             raise SpecificationError(
                 f"cannot compute a value for {operation.id}: not done at {self.replica_id}"
             )
         if self._incremental_replay:
             return self._compute_value_incremental(operation)
-        state = self.data_type.initial_state()
+        state = self.checkpoint.base_state
         value: Any = None
         for x in self.done_order():
             state, reported = self.data_type.apply(state, x.op)
@@ -323,7 +445,7 @@ class ReplicaCore:
             op_id: v for op_id, v in self._replay_values.items() if op_id in retained
         }
 
-        state = self._replay_states[prefix - 1] if prefix else self.data_type.initial_state()
+        state = self._replay_states[prefix - 1] if prefix else self.checkpoint.base_state
         for x in order[prefix:]:
             state, reported = self.data_type.apply(state, x.op)
             self.stats.value_applications += 1
@@ -361,6 +483,7 @@ class ReplicaCore:
         :mod:`repro.algorithm.delta`.
         """
         self.stats.gossip_sent += 1
+        checkpoint = self.checkpoint if self.checkpoint.count else None
         if not self.delta_gossip or destination is None:
             return GossipMessage(
                 sender=self.replica_id,
@@ -369,6 +492,7 @@ class ReplicaCore:
                 labels=dict(self.labels),
                 stable=frozenset(self.stable_here()),
                 epoch=self._epoch,
+                checkpoint=checkpoint,
             )
         if destination == self.replica_id:
             raise SpecificationError("a replica does not gossip with itself")
@@ -401,8 +525,18 @@ class ReplicaCore:
                 stream=out.stream,
                 seqno=seqno,
                 **acks,
+                checkpoint=snapshot.checkpoint if snapshot.checkpoint is not None
+                and snapshot.checkpoint.count else None,
             )
         out.sends_since_full += 1
+        # A delta never resends knowledge at or below the acked basis — which
+        # includes everything compacted since: those operations simply left
+        # the payload snapshot.  The checkpoint itself is advertised only when
+        # the frontier advanced past what the basis already conveyed.
+        basis_count = basis.checkpoint.count if basis.checkpoint is not None else 0
+        advert = None
+        if snapshot.checkpoint is not None and snapshot.checkpoint.count > basis_count:
+            advert = snapshot.checkpoint
         return GossipMessage(
             sender=self.replica_id,
             received=snapshot.received - basis.received,
@@ -419,6 +553,7 @@ class ReplicaCore:
             **acks,
             is_delta=True,
             basis=basis,
+            checkpoint=advert,
         )
 
     def _payload_snapshot(self) -> GossipSnapshot:
@@ -433,6 +568,7 @@ class ReplicaCore:
             done=frozenset(self.done_here()),
             labels=dict(self.labels),
             stable=frozenset(self.stable_here()),
+            checkpoint=self.checkpoint,
         )
         self._snapshot_cache = (self._state_version, snapshot)
         return snapshot
@@ -443,8 +579,11 @@ class ReplicaCore:
 
         The merge is a union/minimum either way, so full and delta messages
         go through the same effect; a delta merge simply touches fewer
-        elements.  Delta bookkeeping (seqno frontier, acks, epochs) is
-        updated afterwards.
+        elements.  Knowledge at or below this replica's compaction frontier
+        is already folded into the checkpoint and is filtered out instead of
+        re-tracked; an attached sender checkpoint ahead of ours is merged
+        first (see :meth:`_merge_checkpoint`).  Delta bookkeeping (seqno
+        frontier, acks, epochs) is updated afterwards.
         """
         sender = message.sender
         if sender == self.replica_id:
@@ -452,26 +591,60 @@ class ReplicaCore:
         if sender not in self.done:
             raise SpecificationError(f"gossip from unknown replica {sender!r}")
 
-        self.rcvd |= message.received
-        self.done[sender] |= message.done | message.stable
-        self.done[self.replica_id] |= message.done | message.stable
+        if message.checkpoint is not None:
+            self._merge_checkpoint(message.checkpoint)
+
+        checkpoint = self.checkpoint
+        if checkpoint.count:
+            received = {x for x in message.received if not checkpoint.covers(x.id)}
+            done = {
+                x for x in (message.done | message.stable) if not checkpoint.covers(x.id)
+            }
+            stable = {x for x in message.stable if not checkpoint.covers(x.id)}
+        else:
+            received = message.received
+            done = message.done | message.stable
+            stable = message.stable
+
+        done_before = len(self.done_here())
+        self.rcvd |= received
+        self.done[sender] |= done
+        self.done[self.replica_id] |= done
         for replica in self.replica_ids:
             if replica not in (self.replica_id, sender):
-                self.done[replica] |= message.stable
+                self.done[replica] |= stable
 
         # label_r <- min(label_r, L)
+        label_lowered = False
         for op_id, label in message.labels.items():
-            merged = label_min(self.label_of(op_id), label)
-            if merged is not INFINITY:
-                self.labels[op_id] = merged
             self._label_generator.observed(label)
+            if checkpoint.count and checkpoint.covers(op_id):
+                # Our archived label for a compacted operation is the global
+                # minimum (Invariant 7.19): the incoming one cannot beat it.
+                continue
+            current = self.labels.get(op_id)
+            merged = label_min(INFINITY if current is None else current, label)
+            if merged is not INFINITY and merged is not current:
+                self.labels[op_id] = merged
+                if current is not None:
+                    label_lowered = True
 
-        self.stable[sender] |= message.stable
-        self.stable[self.replica_id] |= message.stable
+        if label_lowered or len(self.done_here()) != done_before:
+            self._order_dirty = True
+
+        self.stable[sender] |= stable
+        self.stable[self.replica_id] |= stable
         self._promote_stable()
         self._state_version += 1
         self._record_gossip_bookkeeping(message)
         self.stats.gossip_received += 1
+        self._post_merge()
+
+    def _post_merge(self) -> None:
+        """Post-gossip hook: opportunistic compaction (subclasses that keep
+        derived prefix state — the memoizing variants — advance it first)."""
+        if self.compaction is not None:
+            self.maybe_compact()
 
     def _record_gossip_bookkeeping(self, message: GossipMessage) -> None:
         """Advance the delta-gossip seqno/ack/epoch state for one receipt."""
@@ -497,14 +670,226 @@ class ReplicaCore:
         everywhere = set.intersection(*(self.done[i] for i in self.replica_ids))
         self.stable[self.replica_id] |= everywhere
 
+    # ------------------------------------------------------ checkpoint compaction
+
+    def compactable_prefix(self) -> List[OperationDescriptor]:
+        """The longest label-order prefix of the tracked done set that can be
+        folded into the checkpoint: every operation in it is known stable at
+        every replica and is not awaiting a response here."""
+        prefix: List[OperationDescriptor] = []
+        for x in self.done_order():
+            if x in self.pending or not self.is_stable_everywhere(x):
+                break
+            prefix.append(x)
+        return prefix
+
+    def maybe_compact(self, force: bool = False) -> int:
+        """Fold the compactable prefix into the checkpoint when the policy
+        says so (*force* ignores the ``min_batch`` amortization gate — the
+        simulator's interval-driven compaction tick uses it).  Returns the
+        number of operations folded."""
+        if self.compaction is None:
+            return 0
+        prefix = self.compactable_prefix()
+        if not prefix or (not force and len(prefix) < self.compaction.min_batch):
+            return 0
+        self._prepare_compaction()
+        return self._compact(prefix)
+
+    def _prepare_compaction(self) -> None:
+        """Hook for subclasses whose derived prefix state must cover the
+        compactable prefix before it is dropped (the memoizing variants fold
+        everything solid into their memo state here).  Runs only once a fold
+        is actually about to happen — the cheap prefix/min_batch gate comes
+        first, so a gossip tick that folds nothing pays nothing extra.
+        ``compactable_prefix`` depends only on stability and pending state,
+        which the hook never changes."""
+
+    def _compact(self, prefix: List[OperationDescriptor]) -> int:
+        """Fold *prefix* into the checkpoint and drop its per-operation
+        records from every tracked structure."""
+        self.checkpoint, applications = self.checkpoint.extend(
+            prefix, self.data_type, self.labels,
+            value_retention=self.compaction.value_retention,
+        )
+        self.stats.compaction_applications += applications
+        removed = set(prefix)
+        removed_ids = {x.id for x in prefix}
+        self.rcvd -= removed
+        for i in self.replica_ids:
+            self.done[i] -= removed
+            self.stable[i] -= removed
+        for op_id in removed_ids:
+            self.labels.pop(op_id, None)
+            self._stable_storage.pop(op_id, None)
+        # Locally generated labels must keep exceeding the frontier even
+        # though the compacted labels left the generator's inputs.
+        self._label_generator.observed(self.checkpoint.frontier)
+        self._drop_unanswerable_pending()
+        if not self._order_dirty:
+            if [x.id for x in self._order_cache[: len(prefix)]] == [x.id for x in prefix]:
+                del self._order_cache[: len(prefix)]
+            else:  # pragma: no cover - defensive; the prefix is the cache head
+                self._order_dirty = True
+        self._rebase_replay_cache(prefix)
+        self._after_compaction(removed)
+        self._state_version += 1
+        self.stats.compactions += 1
+        self.stats.compacted_operations += len(prefix)
+        if self.on_compact is not None:
+            self.on_compact(prefix, self.checkpoint)
+        return len(prefix)
+
+    def _after_compaction(self, removed: Set[OperationDescriptor]) -> None:
+        """Hook for subclasses to drop their own per-operation records."""
+
+    def _rebase_replay_cache(self, prefix: List[OperationDescriptor]) -> None:
+        """Trim the incremental-replay cache by the compacted prefix (its
+        cached states are absolute, so the remaining positions stay valid).
+
+        The trim is sound only when the cache's leading entries are *exactly*
+        the compacted prefix: if the cache predates a gossip merge that slid
+        an operation into the prefix, its retained states are missing that
+        operation's effect and the whole cache must be dropped instead.
+        """
+        if not self._replay_order:
+            return
+        count = len(prefix)
+        if len(self._replay_order) < count or any(
+            self._replay_order[index][1] != prefix[index].id for index in range(count)
+        ):
+            self._reset_replay_cache()
+            return
+        del self._replay_order[:count]
+        del self._replay_states[:count]
+        for operation in prefix:
+            self._replay_values.pop(operation.id, None)
+
+    def _merge_checkpoint(self, incoming: Checkpoint) -> None:
+        """Merge a gossiped checkpoint ahead of our frontier.
+
+        The checkpoint asserts that everything it covers is stable at every
+        replica.  If we still track all of its operations we simply record
+        that stability (and let our own policy fold them); if some are
+        missing — we are recovering from a crash with volatile memory, or
+        joined a stream late — we adopt the checkpoint wholesale as our new
+        base instead of waiting for a full-history replay that compacted
+        peers can no longer send.
+        """
+        ours = self.checkpoint
+        if incoming.count == 0:
+            return
+        if ours.frontier is not None and label_sort_key(ours.frontier) >= label_sort_key(
+            incoming.frontier
+        ):
+            return  # nested checkpoints: ours already covers the incoming one
+        tracked = {x for x in self.done_here() if incoming.covers(x.id)}
+        covered = len(tracked) + ours.ids.intersection_count(incoming.ids)
+        missing = incoming.count - covered
+        if missing == 0:
+            # Everything the sender compacted is still tracked here: adopt
+            # only the stability knowledge (sound: the sender verified
+            # ``x in stable_sender[i]`` for every replica ``i`` before
+            # compacting, and stable_sender[i] is within stable_i[i]).
+            if tracked:
+                for i in self.replica_ids:
+                    self.done[i] |= tracked
+                    self.stable[i] |= tracked
+                self._state_version += 1
+            return
+        if not ours.ids.issubset(incoming.ids):  # pragma: no cover - defensive
+            raise SpecificationError(
+                f"non-nested checkpoints at {self.replica_id}: the stable prefix "
+                "is totally ordered, so a larger frontier must cover a smaller one"
+            )
+        retention = self.compaction.value_retention if self.compaction is not None else None
+        self.checkpoint = Checkpoint(
+            base_state=incoming.base_state,
+            frontier=incoming.frontier,
+            ids=incoming.ids,
+            values=ours.merged_values(incoming.values, retention),
+        )
+        covers = self.checkpoint.covers
+        self.rcvd = {x for x in self.rcvd if not covers(x.id)}
+        for i in self.replica_ids:
+            self.done[i] = {x for x in self.done[i] if not covers(x.id)}
+            self.stable[i] = {x for x in self.stable[i] if not covers(x.id)}
+        self.labels = {op_id: l for op_id, l in self.labels.items() if not covers(op_id)}
+        for op_id in [op_id for op_id in self._stable_storage if covers(op_id)]:
+            del self._stable_storage[op_id]
+        self._drop_unanswerable_pending()
+        self._label_generator.observed(self.checkpoint.frontier)
+        self._order_dirty = True
+        self._reset_replay_cache()
+        self._on_checkpoint_adopted()
+        self._state_version += 1
+
+    def _drop_unanswerable_pending(self) -> None:
+        """Prune pending entries this replica can provably never answer: a
+        compacted operation whose retained value has been evicted (by a local
+        fold under finite retention, or by an adopted checkpoint whose sender
+        evicted it).  Left in place they would sit in ``pending`` forever —
+        ``response_ready`` can never become true for them again."""
+        if not self.pending:
+            return
+        self.pending = {
+            op
+            for op in self.pending
+            if not (self.checkpoint.covers(op.id) and op.id not in self.checkpoint.values)
+        }
+
+    def _on_checkpoint_adopted(self) -> None:
+        """Hook for subclasses to rebuild derived state after a wholesale
+        checkpoint adoption (crash recovery catch-up)."""
+
+    # ------------------------------------------------------------- state sizing
+
+    def tracked_op_count(self) -> int:
+        """Number of operations this replica keeps per-operation records for
+        (the quantity compaction bounds; the checkpoint's folded operations
+        are excluded — they cost an interval summary entry, not a record)."""
+        return len(self.rcvd)
+
+    def state_size(self) -> Dict[str, int]:
+        """Breakdown of the per-operation state held right now (element
+        counts, used by the memory metrics and benchmark E10)."""
+        return {
+            "rcvd": len(self.rcvd),
+            "done": sum(len(ops) for ops in self.done.values()),
+            "stable": sum(len(ops) for ops in self.stable.values()),
+            "labels": len(self.labels),
+            "stable_storage": len(self._stable_storage),
+            "replay_cache": len(self._replay_states),
+            "pending": len(self.pending),
+            "compacted": self.checkpoint.count,
+            "checkpoint_intervals": self.checkpoint.ids.interval_count,
+            "checkpoint_values": len(self.checkpoint.values),
+        }
+
+    def replayed_state(self) -> Any:
+        """The data state after the full history as seen here: the checkpoint
+        base plus the tracked done suffix in label order.  Inspection helper
+        (does not touch the stats counters)."""
+        state = self.checkpoint.base_state
+        for x in self.done_order():
+            state, _value = self.data_type.apply(state, x.op)
+        return state
+
     # ----------------------------------------------------- crash/recovery (9.3)
 
     def crash(self, volatile_memory: bool = True) -> None:
         """Simulate a crash.  With non-volatile memory nothing is lost (a
         crash is indistinguishable from message delay); with volatile memory
-        everything except the stable storage — the locally generated labels
-        and the incarnation epoch — is discarded, including all delta-gossip
-        bookkeeping and the replay cache."""
+        everything except the stable storage — the locally generated labels,
+        the incarnation epoch, and the compaction checkpoint — is discarded,
+        including all delta-gossip bookkeeping and the replay cache.
+
+        Persisting the checkpoint is what makes compaction crash-safe: the
+        forgotten per-operation records below the frontier can never be
+        re-learned from peers (they may have compacted too), so the folded
+        base state must survive.  Recovery then only needs gossip for the
+        unstable suffix.
+        """
         if not volatile_memory:
             return
         self.pending = set()
@@ -518,6 +903,14 @@ class ReplicaCore:
         self._state_version += 1
         self._snapshot_cache = None
         self._reset_replay_cache()
+        self._order_cache = []
+        self._order_dirty = True
+        self._on_crash()
+
+    def _on_crash(self) -> None:
+        """Hook for subclasses to discard derived volatile state on a crash
+        with volatile memory (the persisted checkpoint is the restart
+        point)."""
 
     def recover_from_stable_storage(self) -> None:
         """Reload the locally generated labels after a crash with volatile
@@ -528,9 +921,12 @@ class ReplicaCore:
         full-state gossip once they observe the bumped epoch, or at the
         latest after ``full_state_interval`` sends)."""
         for op_id, label in self._stable_storage.items():
+            if self.is_compacted(op_id):
+                continue  # folded into the persisted checkpoint
             merged = label_min(self.label_of(op_id), label)
             if merged is not INFINITY:
                 self.labels[op_id] = merged
+        self._order_dirty = True
         self._state_version += 1
 
     # ----------------------------------------------------------------- snapshot
@@ -545,6 +941,7 @@ class ReplicaCore:
             "done": {i: set(ops) for i, ops in self.done.items()},
             "stable": {i: set(ops) for i, ops in self.stable.items()},
             "labels": dict(self.labels),
+            "checkpoint": self.checkpoint,
         }
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic

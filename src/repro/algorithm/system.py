@@ -27,6 +27,7 @@ import random
 from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 from repro.algorithm.channel import Channel
+from repro.algorithm.checkpoint import CompactionLedger, CompactionPolicy
 from repro.algorithm.frontend import FrontEndCore
 from repro.algorithm.labels import Label, LabelOrInfinity, label_min, label_sort_key
 from repro.algorithm.messages import GossipMessage, RequestMessage, ResponseMessage
@@ -72,6 +73,14 @@ class AlgorithmSystem:
         When true, replicas cache their last response replay and re-apply
         only the changed suffix when computing values (observable values are
         unchanged; only ``stats.value_applications`` drops).
+    compaction:
+        When given, every replica folds its stable-everywhere prefix into a
+        checkpoint under this :class:`CompactionPolicy` and drops the
+        per-operation records (see :mod:`repro.algorithm.checkpoint`).
+        Responses are unchanged; tracked state becomes proportional to the
+        unstable suffix.  The system keeps the agreed compacted prefix in a
+        :class:`CompactionLedger` so eventual-order witnesses and invariant
+        checks still see the full history.
     """
 
     def __init__(
@@ -84,6 +93,7 @@ class AlgorithmSystem:
         delta_gossip: bool = False,
         full_state_interval: int = 8,
         incremental_replay: bool = False,
+        compaction: Optional[CompactionPolicy] = None,
     ) -> None:
         if len(set(replica_ids)) < 2:
             raise ConfigurationError("the algorithm assumes at least two replicas")
@@ -101,11 +111,17 @@ class AlgorithmSystem:
         self.replicas: Dict[str, ReplicaCore] = {
             r: factory(r, self.replica_ids, data_type) for r in self.replica_ids
         }
+        #: The system-wide compacted stable prefix, tiled (and cross-checked)
+        #: from every replica's compaction reports.
+        self.compaction_ledger = CompactionLedger()
         for core in self.replicas.values():
             if delta_gossip:
                 core.configure_delta_gossip(True, full_state_interval)
             if incremental_replay:
                 core.enable_incremental_replay()
+            if compaction is not None:
+                core.configure_compaction(compaction)
+            core.on_compact = self.compaction_ledger.record
 
         self.request_channels: Dict[Tuple[str, str], Channel[RequestMessage]] = {
             (c, r): Channel(c, r) for c in self.client_ids for r in self.replica_ids
@@ -201,11 +217,22 @@ class AlgorithmSystem:
     # ====================================================================== #
 
     def ops(self) -> Set[OperationDescriptor]:
-        """``ops = U_r done_r[r]`` — operations done at any replica."""
-        result: Set[OperationDescriptor] = set()
+        """``ops = U_r done_r[r]`` — operations done at any replica.
+
+        Operations folded into a compaction checkpoint remain done (their
+        records just moved into the base state), so the compacted prefix is
+        included from the ledger.
+        """
+        result: Set[OperationDescriptor] = set(self.compaction_ledger.prefix)
         for replica in self.replicas.values():
             result |= replica.done_here()
         return result
+
+    def compacted_ops(self, replica: str) -> List[OperationDescriptor]:
+        """The operations replica *r* has folded into its checkpoint, in the
+        agreed label order (reconstructed from the ledger — the replica
+        itself keeps only the compact id summary)."""
+        return self.compaction_ledger.prefix[: self.replicas[replica].checkpoint.count]
 
     def minlabel(self, op_id: OperationId) -> LabelOrInfinity:
         """``minlabel(id)`` — the system-wide minimum label."""
@@ -218,12 +245,21 @@ class AlgorithmSystem:
         """The identifiers of ``ops`` sorted by system-wide minimum label.
 
         Once gossip has quiesced this is the eventual total order used as the
-        witness for Theorem 5.8 checks.
+        witness for Theorem 5.8 checks.  The compacted prefix comes first, in
+        the order the replicas folded it (its minimum labels may no longer be
+        held anywhere — that is the point of compaction); every tracked
+        operation sorts after it, because a replica only compacts a prefix
+        whose labels every remaining label exceeds.
         """
-        return [
+        compacted_ids = self.compaction_ledger.ids
+        suffix = [
             x.id
-            for x in sorted(self.ops(), key=lambda op: label_sort_key(self.minlabel(op.id)))
+            for x in sorted(
+                (x for x in self.ops() if x.id not in compacted_ids),
+                key=lambda op: label_sort_key(self.minlabel(op.id)),
+            )
         ]
+        return [x.id for x in self.compaction_ledger.prefix] + suffix
 
     def local_constraints(self, replica: str) -> Set[Tuple[OperationId, OperationId]]:
         """``lc_r`` restricted to the identifiers of ``ops``.
@@ -232,16 +268,49 @@ class AlgorithmSystem:
         component has no label at ``r`` (label ``oo``) are included whenever
         the first component is labelled, which is why the computation ranges
         over the ``ops`` universe rather than only the labels ``r`` holds.
+
+        An identifier compacted at ``r`` has no tracked label either, but for
+        the opposite reason: its archived label sat at or below the frontier,
+        beneath every label ``r`` still tracks.  Compacted identifiers are
+        therefore ordered among themselves by their (frozen) ledger position
+        and before every other identifier.
         """
         universe = {x.id for x in self.ops()}
         core = self.replicas[replica]
+        return self._constraints_with_prefix(replica, universe, core.label_of)
+
+    def _compacted_positions(self, replica: str) -> Dict[OperationId, int]:
+        """Ledger position of each identifier *replica* has compacted."""
+        count = self.replicas[replica].checkpoint.count
+        return {x.id: index for index, x in enumerate(self.compaction_ledger.prefix[:count])}
+
+    def _constraints_with_prefix(
+        self,
+        replica: str,
+        universe: Set[OperationId],
+        label_of: Callable[[OperationId], LabelOrInfinity],
+    ) -> Set[Tuple[OperationId, OperationId]]:
+        """The label-induced constraints over *universe* as seen at
+        *replica*, with its compacted identifiers ordered among themselves
+        by their frozen ledger position and before every other identifier —
+        the shared core of ``lc_r`` and ``mc_r(m)``."""
+        position = self._compacted_positions(replica)
         constraints: Set[Tuple[OperationId, OperationId]] = set()
         for a in universe:
-            label_a = core.label_of(a)
+            pos_a = position.get(a)
+            if pos_a is not None:
+                for b in universe:
+                    if a == b:
+                        continue
+                    pos_b = position.get(b)
+                    if pos_b is None or pos_a < pos_b:
+                        constraints.add((a, b))
+                continue
+            label_a = label_of(a)
             if label_a is INFINITY:
                 continue
             for b in universe:
-                if a != b and label_a < core.label_of(b):
+                if a != b and b not in position and label_a < label_of(b):
                     constraints.add((a, b))
         return constraints
 
@@ -249,21 +318,23 @@ class AlgorithmSystem:
         self, replica: str, message: GossipMessage
     ) -> Set[Tuple[OperationId, OperationId]]:
         """``mc_r(m)`` — the local constraints replica *r* would have if it
-        received *message* immediately (restricted to the ``ops`` universe)."""
+        received *message* immediately (restricted to the ``ops`` universe).
+
+        Identifiers compacted at *r* keep their frozen prefix order (the
+        receiver ignores gossiped labels for them), exactly as in
+        :meth:`local_constraints`.
+        """
         core = self.replicas[replica]
         universe = {x.id for x in self.ops()}
+        checkpoint = core.checkpoint
         merged: Dict[OperationId, LabelOrInfinity] = {
             op_id: label_min(core.label_of(op_id), message.label_of(op_id))
             for op_id in universe
+            if not checkpoint.covers(op_id)
         }
-        constraints: Set[Tuple[OperationId, OperationId]] = set()
-        for a in universe:
-            if merged[a] is INFINITY:
-                continue
-            for b in universe:
-                if a != b and merged[a] < merged[b]:
-                    constraints.add((a, b))
-        return constraints
+        return self._constraints_with_prefix(
+            replica, universe, lambda op_id: merged.get(op_id, INFINITY)
+        )
 
     def in_transit_gossip(self, destination: Optional[str] = None) -> List[Tuple[str, GossipMessage]]:
         """Gossip messages currently in transit (optionally only those headed
@@ -317,8 +388,16 @@ class AlgorithmSystem:
         return result
 
     def stable_everywhere(self) -> Set[OperationDescriptor]:
-        """``⋂_r stable_r[r]`` — the operations every replica knows stable."""
-        stable_sets = [replica.stable_here() for replica in self.replicas.values()]
+        """``⋂_r stable_r[r]`` — the operations every replica knows stable,
+        on the checkpoint + suffix view: an operation a replica has folded
+        into its checkpoint is stable there by construction (compaction only
+        ever folds stable-everywhere operations), so stability is never
+        *lost* by compacting — which the forward-simulation relation against
+        the spec's monotone ``stabilized`` set depends on."""
+        stable_sets = [
+            replica.stable_here() | set(self.compacted_ops(rid))
+            for rid, replica in self.replicas.items()
+        ]
         return set.intersection(*stable_sets) if stable_sets else set()
 
     # ====================================================================== #

@@ -24,8 +24,9 @@ shard.
 from __future__ import annotations
 
 import random
-from typing import Any, Dict, List, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
+from repro.algorithm.checkpoint import CompactionPolicy
 from repro.algorithm.system import AlgorithmSystem, ReplicaFactory
 from repro.common import OperationId
 from repro.core.operations import OperationDescriptor
@@ -51,6 +52,11 @@ class ShardedFrontend:
         identifiers stay globally unique.
     delta_gossip / full_state_interval / incremental_replay:
         Forwarded to every shard's :class:`AlgorithmSystem`.
+    compaction:
+        Checkpoint-compaction configuration, threaded per shard: a single
+        :class:`CompactionPolicy` applied everywhere, or a mapping from
+        shard id to policy (shards absent from the mapping run uncompacted).
+        Bounds each shard's tracked replica state by its unstable suffix.
     """
 
     def __init__(
@@ -65,12 +71,19 @@ class ShardedFrontend:
         full_state_interval: int = 8,
         incremental_replay: bool = False,
         virtual_nodes: int = 64,
+        compaction: Union[None, CompactionPolicy, Mapping[str, CompactionPolicy]] = None,
     ) -> None:
         self.base_type = base_type
         self.store_type = KeyedStore(base_type)
         self.router = router or ShardRouter.for_count(num_shards, virtual_nodes=virtual_nodes)
         self.shard_ids: Tuple[str, ...] = self.router.shard_ids
         self.client_ids: Tuple[str, ...] = tuple(client_ids)
+
+        def policy_for(shard: str) -> Optional[CompactionPolicy]:
+            if isinstance(compaction, Mapping):
+                return compaction.get(shard)
+            return compaction
+
         self.systems: Dict[str, AlgorithmSystem] = {
             shard: AlgorithmSystem(
                 self.store_type,
@@ -80,6 +93,7 @@ class ShardedFrontend:
                 delta_gossip=delta_gossip,
                 full_state_interval=full_state_interval,
                 incremental_replay=incremental_replay,
+                compaction=policy_for(shard),
             )
             for shard in self.shard_ids
         }

@@ -23,6 +23,7 @@ import random
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
+from repro.algorithm.checkpoint import CompactionLedger, CompactionPolicy
 from repro.algorithm.frontend import FrontEndCore
 from repro.algorithm.labels import label_min, label_sort_key
 from repro.algorithm.messages import GossipMessage, RequestMessage, ResponseMessage
@@ -111,6 +112,16 @@ class SimulationParams:
     #: responses, stabilization tracking) once per instant instead of once
     #: per message.
     batch_gossip: bool = False
+    #: Stability-driven checkpoint compaction policy; ``None`` disables it.
+    #: With a policy set, replicas fold their stable-everywhere prefix into a
+    #: checkpoint and drop the per-operation records — responses are
+    #: unchanged, tracked state stays bounded by the unstable suffix.
+    compaction: Optional[CompactionPolicy] = None
+    #: With compaction enabled, additionally force a compaction sweep on
+    #: every replica at this simulated-time interval (ignoring the policy's
+    #: ``min_batch`` amortization gate).  ``None`` leaves compaction purely
+    #: opportunistic (after gossip merges).
+    compaction_interval: Optional[float] = None
 
     def __post_init__(self) -> None:
         if self.request_fanout < 1:
@@ -121,6 +132,11 @@ class SimulationParams:
             raise ConfigurationError("gossip_period must be positive")
         if self.full_state_interval < 1:
             raise ConfigurationError("full_state_interval must be at least 1")
+        if self.compaction_interval is not None:
+            if self.compaction is None:
+                raise ConfigurationError("compaction_interval requires a compaction policy")
+            if self.compaction_interval <= 0:
+                raise ConfigurationError("compaction_interval must be positive")
 
 
 class SimulatedCluster:
@@ -162,11 +178,17 @@ class SimulatedCluster:
         self.replicas: Dict[str, ReplicaCore] = {
             rid: factory(rid, self.replica_ids, data_type) for rid in self.replica_ids
         }
-        for core in self.replicas.values():
+        #: The agreed compacted stable prefix across the whole cluster (the
+        #: replicas themselves forget the order; witnesses and audits need it).
+        self.compaction_ledger = CompactionLedger()
+        for rid, core in self.replicas.items():
             if self.params.delta_gossip:
                 core.configure_delta_gossip(True, self.params.full_state_interval)
             if self.params.incremental_replay:
                 core.enable_incremental_replay()
+            if self.params.compaction is not None:
+                core.configure_compaction(self.params.compaction)
+            core.on_compact = self._compaction_recorder(rid)
         self.client_ids: Tuple[str, ...] = tuple(client_ids)
         self.frontends: Dict[str, FrontEndCore] = {
             cid: FrontEndCore(cid) for cid in self.client_ids
@@ -205,7 +227,8 @@ class SimulatedCluster:
     # ===================================================================== #
 
     def start(self) -> None:
-        """Start the gossip timers.  Called automatically on first use."""
+        """Start the gossip (and compaction) timers.  Called automatically on
+        first use."""
         if self._gossip_started:
             return
         self._gossip_started = True
@@ -214,7 +237,35 @@ class SimulatedCluster:
             if self.params.gossip_stagger and len(self.replica_ids) > 1:
                 offset = (index / len(self.replica_ids)) * self.params.gossip_period
             self.simulator.schedule(offset + self.params.gossip_period, self._gossip_tick(rid))
+        if self.params.compaction_interval is not None:
+            for rid in self.replica_ids:
+                self.simulator.schedule(
+                    self.params.compaction_interval, self._compaction_tick(rid)
+                )
         self.metrics.started_at = self.simulator.now
+
+    def _compaction_recorder(self, replica: str):
+        """Per-replica ``on_compact`` hook: ledger bookkeeping plus a state
+        sample right after the fold (the memory low-water mark)."""
+        def record(batch, checkpoint) -> None:
+            self.compaction_ledger.record(batch, checkpoint)
+            self.metrics.record_tracked_ops(
+                replica, self.replicas[replica].tracked_op_count()
+            )
+        return record
+
+    def _compaction_tick(self, replica: str) -> Callable[[], None]:
+        def tick() -> None:
+            if replica not in self._crashed:
+                self.replicas[replica].maybe_compact(force=True)
+            self.simulator.schedule(self.params.compaction_interval, tick)
+
+        return tick
+
+    @property
+    def compacted_prefix(self) -> List[OperationDescriptor]:
+        """The cluster-wide compacted stable prefix, in the agreed order."""
+        return self.compaction_ledger.prefix
 
     @property
     def now(self) -> float:
@@ -448,6 +499,9 @@ class SimulatedCluster:
                     if destination == replica:
                         continue
                     self._send_gossip(replica, destination)
+                self.metrics.record_tracked_ops(
+                    replica, self.replicas[replica].tracked_op_count()
+                )
             self.simulator.schedule(self.params.gossip_period, tick)
 
         return tick
@@ -530,7 +584,7 @@ class SimulatedCluster:
         newly_stable: List[OperationId] = []
         for op_id in self._unstable:
             operation = self.requested[op_id]
-            if all(operation in rep.stable_here() for rep in self.replicas.values()):
+            if all(rep.knows_stable(operation) for rep in self.replicas.values()):
                 newly_stable.append(op_id)
         for op_id in newly_stable:
             self._unstable.discard(op_id)
@@ -568,15 +622,29 @@ class SimulatedCluster:
 
     def eventual_order(self) -> List[OperationId]:
         """Identifiers of all requested operations ordered by system-wide
-        minimum label (unlabelled operations last, deterministically)."""
+        minimum label (unlabelled operations last, deterministically).
+
+        The compacted stable prefix comes first in its agreed (ledger) order:
+        the labels below the frontier are deliberately forgotten, and every
+        tracked label exceeds them.
+        """
+        compacted = self.compaction_ledger.ids
+        prefix = [x.id for x in self.compaction_ledger.prefix]
         labelled = [
-            op_id for op_id in self.requested if self.minlabel(op_id) is not INFINITY
+            op_id
+            for op_id in self.requested
+            if op_id not in compacted and self.minlabel(op_id) is not INFINITY
         ]
         labelled.sort(key=lambda op_id: label_sort_key(self.minlabel(op_id)))
         unlabelled = sorted(
-            (op_id for op_id in self.requested if self.minlabel(op_id) is INFINITY), key=repr
+            (
+                op_id
+                for op_id in self.requested
+                if op_id not in compacted and self.minlabel(op_id) is INFINITY
+            ),
+            key=repr,
         )
-        return labelled + unlabelled
+        return prefix + labelled + unlabelled
 
     def algorithm_view(self) -> "AlgorithmSystem":
         """An :class:`~repro.algorithm.system.AlgorithmSystem`-shaped view of
@@ -605,17 +673,20 @@ class SimulatedCluster:
         view.response_channels = {}
         view.gossip_channels = {}
         view.trace = self.trace
+        view.compaction_ledger = self.compaction_ledger
         return view
 
     def fully_converged(self) -> bool:
         """Has every requested operation become stable at every replica?
+        (A compacted operation is stable by construction.)
 
         Used by tests to decide when the :meth:`algorithm_view` is faithful:
         at convergence no gossip in transit can carry new information.
         """
         requested = set(self.requested.values())
         return all(
-            requested <= replica.stable_here() for replica in self.replicas.values()
+            all(replica.knows_stable(op) for op in requested)
+            for replica in self.replicas.values()
         )
 
     def total_value_applications(self) -> int:

@@ -80,6 +80,11 @@ class MetricsCollector:
         #: Simulation time at which each operation was first observed stable
         #: at every replica (filled in by the cluster's gossip handler).
         self.stabilization_times: Dict[OperationId, float] = {}
+        #: Peak / latest per-replica tracked-operation counts (the memory
+        #: quantity checkpoint compaction bounds), sampled by the cluster at
+        #: gossip ticks and after compactions.
+        self.tracked_ops_peak: Dict[str, int] = {}
+        self.tracked_ops_last: Dict[str, int] = {}
         self.started_at: float = 0.0
         self.finished_at: float = 0.0
 
@@ -103,6 +108,12 @@ class MetricsCollector:
 
     def record_stabilization(self, op_id: OperationId, time: float) -> None:
         self.stabilization_times.setdefault(op_id, time)
+
+    def record_tracked_ops(self, replica_id: str, count: int) -> None:
+        """Sample one replica's tracked-operation count (state-size metric)."""
+        self.tracked_ops_last[replica_id] = count
+        if count > self.tracked_ops_peak.get(replica_id, 0):
+            self.tracked_ops_peak[replica_id] = count
 
     def request_time_of(self, op_id: OperationId) -> Optional[float]:
         return self._request_times.get(op_id)
@@ -147,6 +158,11 @@ class MetricsCollector:
             if request_time is not None:
                 values.append(stable_time - request_time)
         return LatencySummary.from_latencies(values)
+
+    def peak_tracked_ops(self) -> int:
+        """The largest tracked-operation count any replica reached (0 when
+        state sampling never ran)."""
+        return max(self.tracked_ops_peak.values(), default=0)
 
 
 class PerShardMetrics:
@@ -224,3 +240,15 @@ class PerShardMetrics:
             return 0.0
         mean = total / len(counts)
         return max(counts) / mean
+
+    def peak_tracked_ops(self) -> int:
+        """Largest tracked-operation count any replica of any shard reached."""
+        return max(
+            (collector.peak_tracked_ops() for collector in self.collectors.values()),
+            default=0,
+        )
+
+    def peak_tracked_ops_by_shard(self) -> Dict[str, int]:
+        return {
+            sid: collector.peak_tracked_ops() for sid, collector in self.collectors.items()
+        }

@@ -21,9 +21,11 @@ and a single trace of the whole service remains well-formed.
 
 from __future__ import annotations
 
+import dataclasses
 import random
-from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple, Union
 
+from repro.algorithm.checkpoint import CompactionPolicy
 from repro.common import ConfigurationError, OperationId
 from repro.core.operations import OperationDescriptor
 from repro.datatypes.base import Operator, SerialDataType
@@ -59,6 +61,12 @@ class ShardedCluster:
     seed:
         Single seed for the whole deployment; each shard derives its own
         network RNG from it deterministically.
+    compaction:
+        Optional checkpoint-compaction override: a single
+        :class:`CompactionPolicy` applied to every shard, or a mapping from
+        shard id to policy (shards absent from the mapping keep
+        ``params.compaction``).  Hot shards can compact aggressively while
+        cold ones stay lazy.
     """
 
     def __init__(
@@ -72,6 +80,7 @@ class ShardedCluster:
         router: Optional[ShardRouter] = None,
         replica_factory: Optional[ReplicaFactory] = None,
         virtual_nodes: int = 64,
+        compaction: Union[None, CompactionPolicy, Mapping[str, CompactionPolicy]] = None,
     ) -> None:
         self.base_type = base_type
         self.store_type = KeyedStore(base_type)
@@ -80,12 +89,31 @@ class ShardedCluster:
         self.shard_ids: Tuple[str, ...] = self.router.shard_ids
         self.client_ids: Tuple[str, ...] = tuple(client_ids)
         self.simulator = Simulator()
+
+        def shard_params(shard: str) -> SimulationParams:
+            if compaction is None:
+                return self.params
+            policy = (
+                compaction.get(shard, self.params.compaction)
+                if isinstance(compaction, Mapping)
+                else compaction
+            )
+            if policy is self.params.compaction:
+                return self.params
+            if policy is None:
+                # Disabling one shard must also drop the interval timer, or
+                # SimulationParams validation rejects the combination.
+                return dataclasses.replace(
+                    self.params, compaction=None, compaction_interval=None
+                )
+            return dataclasses.replace(self.params, compaction=policy)
+
         self.shards: Dict[str, SimulatedCluster] = {
             shard: SimulatedCluster(
                 self.store_type,
                 replicas_per_shard,
                 self.client_ids,
-                params=self.params,
+                params=shard_params(shard),
                 replica_factory=replica_factory,
                 simulator=self.simulator,
                 rng=random.Random(seed * 7919 + index + 1),

@@ -10,6 +10,24 @@ Each invariant is a separate method named after the paper's numbering, so a
 failing test points directly at the corresponding claim; ``check_all`` runs
 every applicable check and raises :class:`~repro.common.InvariantViolation`
 with the invariant name on failure.
+
+With checkpoint compaction enabled (:mod:`repro.algorithm.checkpoint`) a
+replica's raw sets cover only the unstable suffix; the Section 7/8 claims
+are then evaluated against the **checkpoint + suffix** view:
+
+* membership invariants (7.4, 7.13, and message checks in 7.3) treat a
+  replica's compacted operations — reconstructed from the system's
+  :class:`~repro.algorithm.checkpoint.CompactionLedger` — as received, done
+  and stable;
+* label invariants (7.10, 7.17, 7.19) skip identifiers a replica has
+  compacted: the archived label was the global minimum when it was dropped
+  (Invariant 7.19), which the dedicated checkpoint invariant re-verifies
+  structurally;
+* order invariants (7.21, 8.3) compare only operations still tracked
+  somewhere; the frozen order of the compacted prefix is checked directly
+  against the ledger by :meth:`invariant_checkpoint_compaction` (nestedness,
+  frontier below every tracked label, base state = prefix replay, retained
+  values = replay values).
 """
 
 from __future__ import annotations
@@ -36,6 +54,19 @@ class AlgorithmInvariantChecker:
     def __init__(self, system: AlgorithmSystem) -> None:
         self.system = system
 
+    # -- checkpoint + suffix views ---------------------------------------------
+
+    def _compacted(self, replica_id: str) -> Set:
+        """The operations *replica_id* has folded into its checkpoint, as
+        descriptors (reconstructed from the system's compaction ledger)."""
+        replica = self.system.replicas[replica_id]
+        if not replica.checkpoint.count:
+            return set()
+        return set(self.system.compacted_ops(replica_id))
+
+    def _is_compacted(self, replica_id: str, op_id: OperationId) -> bool:
+        return self.system.replicas[replica_id].checkpoint.covers(op_id)
+
     # -- entry points ----------------------------------------------------------
 
     def check_all(self) -> None:
@@ -61,6 +92,7 @@ class AlgorithmInvariantChecker:
         self.invariant_8_1_po_is_partial_order()
         self.invariant_8_3_stable_ordered_by_minlabel()
         self.invariant_10_memoized_replicas()
+        self.invariant_checkpoint_compaction()
 
     def __call__(self, *_args, **_kwargs) -> None:
         """Allow use as a step hook."""
@@ -102,32 +134,48 @@ class AlgorithmInvariantChecker:
         # Delta messages are checked through their *effective* views
         # (delta ∪ acknowledged basis) — the knowledge the message conveys,
         # which is exactly what a full message sent at the same instant would
-        # have carried.
+        # have carried.  A sender may have compacted operations an in-flight
+        # message still lists; its checkpoint + suffix view still covers them.
         for (src, dst), channel in self.system.gossip_channels.items():
             sender = self.system.replicas[src]
+            compacted = self._compacted(src)
             for message in channel.contents():
-                if not message.effective_received() <= sender.rcvd:
+                if not message.effective_received() <= sender.rcvd | compacted:
                     _fail("Invariant 7.3", f"gossip {src}->{dst}: R not within rcvd_{src}")
-                if not message.effective_done() <= sender.done_here():
+                if not message.effective_done() <= sender.done_here() | compacted:
                     _fail("Invariant 7.3", f"gossip {src}->{dst}: D not within done_{src}")
-                if not message.effective_stable() <= sender.stable_here():
+                if not message.effective_stable() <= sender.stable_here() | compacted:
                     _fail("Invariant 7.3", f"gossip {src}->{dst}: S not within stable_{src}")
                 if not message.effective_stable() <= message.effective_done():
                     _fail("Invariant 7.3", f"gossip {src}->{dst}: S not within D")
                 for op_id, label in message.effective_labels().items():
+                    if self._is_compacted(src, op_id):
+                        # The sender's archived label was the global minimum
+                        # (Invariant 7.19), so it cannot exceed the message's.
+                        continue
                     if label_sort_key(sender.label_of(op_id)) > label_sort_key(label):
                         _fail(
                             "Invariant 7.3",
                             f"gossip {src}->{dst}: message label for {op_id} below sender's",
+                        )
+                if message.checkpoint is not None and message.checkpoint.count:
+                    frontier = sender.checkpoint.frontier
+                    if frontier is None or label_sort_key(
+                        message.checkpoint.frontier
+                    ) > label_sort_key(frontier):
+                        _fail(
+                            "Invariant 7.3",
+                            f"gossip {src}->{dst}: checkpoint frontier ahead of sender's",
                         )
 
     def invariant_7_4_remote_knowledge_not_ahead(self) -> None:
         for r, replica in self.system.replicas.items():
             for i in replica.replica_ids:
                 actual = self.system.replicas[i]
-                if not replica.done[i] <= actual.done_here():
+                compacted = self._compacted(i)
+                if not replica.done[i] <= actual.done_here() | compacted:
                     _fail("Invariant 7.4", f"done_{r}[{i}] not within done_{i}[{i}]")
-                if not replica.stable[i] <= actual.stable_here():
+                if not replica.stable[i] <= actual.stable_here() | compacted:
                     _fail("Invariant 7.4", f"stable_{r}[{i}] not within stable_{i}[{i}]")
 
     def invariant_7_5_labels_exactly_for_done(self) -> None:
@@ -182,6 +230,18 @@ class AlgorithmInvariantChecker:
         csc = client_specified_constraints(ops)
         for r, replica in self.system.replicas.items():
             for before, after in csc:
+                if self._is_compacted(r, after):
+                    # The prefix property makes the strengthened claim
+                    # checkable without labels: a compacted operation's
+                    # predecessors must have been compacted with it.
+                    if not self._is_compacted(r, before):
+                        _fail(
+                            "Invariant 7.10",
+                            f"replica {r}: {after} compacted but its prev {before} is not",
+                        )
+                    continue
+                if self._is_compacted(r, before):
+                    continue  # archived below the frontier; after's label is above it
                 if label_sort_key(replica.label_of(before)) > label_sort_key(replica.label_of(after)):
                     _fail(
                         "Invariant 7.10",
@@ -189,7 +249,18 @@ class AlgorithmInvariantChecker:
                     )
         for (src, dst), channel in self.system.gossip_channels.items():
             for message in channel.contents():
+                checkpoint = message.effective_checkpoint()
                 for before, after in csc:
+                    if checkpoint is not None and checkpoint.covers(after):
+                        if not checkpoint.covers(before):
+                            _fail(
+                                "Invariant 7.10",
+                                f"gossip {src}->{dst}: checkpoint covers {after} "
+                                f"but not its prev {before}",
+                            )
+                        continue
+                    if checkpoint is not None and checkpoint.covers(before):
+                        continue
                     if label_sort_key(message.label_of(before)) > label_sort_key(message.label_of(after)):
                         _fail(
                             "Invariant 7.10",
@@ -216,6 +287,8 @@ class AlgorithmInvariantChecker:
         for r, replica in self.system.replicas.items():
             done_here = replica.done_here()
             for x in ops:
+                if self._is_compacted(r, x.id):
+                    continue  # done at r; the record lives in the checkpoint
                 for other in self.system.replicas.values():
                     label = other.label_of(x.id)
                     if label is not INFINITY and label.replica == r and x not in done_here:
@@ -234,10 +307,13 @@ class AlgorithmInvariantChecker:
                 _fail("Invariant 7.15", f"replica {r}: a done operation has no label")
 
     def invariant_7_17_own_label_is_minimum_seen(self) -> None:
+        # Identifiers compacted at r are skipped: r archived the global
+        # minimum label for them (Invariant 7.19), so nothing seen elsewhere
+        # can be smaller.
         for r, replica in self.system.replicas.items():
             for other in self.system.replicas.values():
                 for op_id, label in other.labels.items():
-                    if label.replica == r:
+                    if label.replica == r and not self._is_compacted(r, op_id):
                         if label_sort_key(replica.label_of(op_id)) > label_sort_key(label):
                             _fail(
                                 "Invariant 7.17",
@@ -247,7 +323,7 @@ class AlgorithmInvariantChecker:
             for (_src, _dst), channel in self.system.gossip_channels.items():
                 for message in channel.contents():
                     for op_id, label in message.effective_labels().items():
-                        if label.replica == r:
+                        if label.replica == r and not self._is_compacted(r, op_id):
                             if label_sort_key(replica.label_of(op_id)) > label_sort_key(label):
                                 _fail(
                                     "Invariant 7.17",
@@ -256,10 +332,17 @@ class AlgorithmInvariantChecker:
                                 )
 
     def invariant_7_19_stable_prefix_has_min_labels(self) -> None:
+        # ``minlabel`` ranges over replicas that still track the identifier;
+        # an identifier compacted at r is skipped for r (its archived label
+        # was the minimum), and one compacted everywhere has no tracked
+        # minimum to compare at all (its order is frozen in the checkpoint,
+        # audited by invariant_checkpoint_compaction).
         for r, replica in self.system.replicas.items():
             for stable_op in replica.stable_here():
                 stable_min = label_sort_key(self.system.minlabel(stable_op.id))
                 for x in self.system.ops():
+                    if self._is_compacted(r, x.id):
+                        continue
                     if label_sort_key(self.system.minlabel(x.id)) <= stable_min:
                         if label_sort_key(replica.label_of(x.id)) != label_sort_key(
                             self.system.minlabel(x.id)
@@ -271,14 +354,21 @@ class AlgorithmInvariantChecker:
                             )
 
     def invariant_7_21_stable_order_matches_minlabel(self) -> None:
+        # Restricted to operations still tracked everywhere: once an
+        # identifier is compacted somewhere its minimum label is partially
+        # forgotten, and its (frozen) order is audited against the ledger by
+        # invariant_checkpoint_compaction instead.
+        compacted_anywhere = self.system.compaction_ledger.ids
         everywhere_stable = self.system.stable_everywhere()
         ops = self.system.ops()
         constraints = transitive_closure(
             client_specified_constraints(ops) | self.system.system_constraints()
         )
         for x in everywhere_stable:
+            if x.id in compacted_anywhere:
+                continue
             for y in ops:
-                if x.id == y.id:
+                if x.id == y.id or y.id in compacted_anywhere:
                     continue
                 expected = label_sort_key(self.system.minlabel(x.id)) < label_sort_key(
                     self.system.minlabel(y.id)
@@ -304,10 +394,13 @@ class AlgorithmInvariantChecker:
 
     def invariant_8_3_stable_ordered_by_minlabel(self) -> None:
         po = self.system.partial_order()
+        compacted_anywhere = self.system.compaction_ledger.ids
         everywhere_stable = self.system.stable_everywhere()
         for x in everywhere_stable:
+            if x.id in compacted_anywhere:
+                continue
             for y in self.system.ops():
-                if x.id == y.id:
+                if x.id == y.id or y.id in compacted_anywhere:
                     continue
                 by_label = label_sort_key(self.system.minlabel(x.id)) < label_sort_key(
                     self.system.minlabel(y.id)
@@ -329,8 +422,9 @@ class AlgorithmInvariantChecker:
             if not replica.memoized <= solid:
                 _fail("Invariant 10.3", f"replica {r}: memoized operation is not solid")
             # Invariant 10.4: ms equals the outcome of the memoized prefix in
-            # label order, and mv holds the label-order values.
-            state = replica.data_type.initial_state()
+            # label order — applied on top of the compaction checkpoint's
+            # base state, which the memoized prefix now starts from.
+            state = replica.checkpoint.base_state
             ordered = sorted(
                 replica.memoized, key=lambda x: label_sort_key(replica.label_of(x.id))
             )
@@ -340,6 +434,80 @@ class AlgorithmInvariantChecker:
                     _fail("Invariant 10.4", f"replica {r}: memoized value for {x.id} is wrong")
             if state != replica.memo_state:
                 _fail("Invariant 10.4", f"replica {r}: memoized state diverges from replay")
+
+    # -- checkpoint compaction ---------------------------------------------------
+
+    def invariant_checkpoint_compaction(self) -> None:
+        """The structural claims compaction rests on (no-op while nothing has
+        been compacted):
+
+        * every compacted identifier was requested, and every replica's
+          compacted set is exactly a prefix of the system-wide agreed order
+          (the ledger) — so checkpoints are nested across replicas;
+        * every label a replica still tracks exceeds its frontier;
+        * the checkpoint base state equals the replay of its prefix in the
+          agreed order, and every retained value equals the replay value.
+        """
+        ledger = self.system.compaction_ledger
+        requested_ids = {x.id for x in self.system.users.requested}
+        prefix_states: List = []  # state after prefix[:k], computed lazily
+        for r, replica in self.system.replicas.items():
+            checkpoint = replica.checkpoint
+            count = checkpoint.count
+            if count == 0:
+                continue
+            if count > len(ledger.prefix):
+                _fail(
+                    "Checkpoint",
+                    f"replica {r} compacted {count} operations but the ledger only "
+                    f"records {len(ledger.prefix)}",
+                )
+            prefix = ledger.prefix[:count]
+            for x in prefix:
+                if not checkpoint.covers(x.id):
+                    _fail(
+                        "Checkpoint",
+                        f"replica {r}: id summary does not cover prefix operation {x.id}",
+                    )
+                if x.id not in requested_ids:
+                    _fail("Checkpoint", f"replica {r}: compacted {x.id} was never requested")
+            frontier_key = label_sort_key(checkpoint.frontier)
+            for op_id, label in replica.labels.items():
+                if label_sort_key(label) <= frontier_key:
+                    _fail(
+                        "Checkpoint",
+                        f"replica {r}: tracked label for {op_id} at or below the frontier",
+                    )
+            # Replay the agreed prefix once, reusing partial states across
+            # replicas (checkpoints are nested prefixes of the same order).
+            while len(prefix_states) < count:
+                previous = (
+                    prefix_states[-1][0]
+                    if prefix_states
+                    else self.system.data_type.initial_state()
+                )
+                state, value = self.system.data_type.apply(
+                    previous, ledger.prefix[len(prefix_states)].op
+                )
+                prefix_states.append((state, value))
+            if prefix_states[count - 1][0] != checkpoint.base_state:
+                _fail(
+                    "Checkpoint",
+                    f"replica {r}: base state diverges from the agreed prefix replay",
+                )
+            by_position = {x.id: index for index, x in enumerate(prefix)}
+            for op_id, value in checkpoint.values.items():
+                position = by_position.get(op_id)
+                if position is None:
+                    _fail(
+                        "Checkpoint",
+                        f"replica {r}: retained value for {op_id} outside the prefix",
+                    )
+                if prefix_states[position][1] != value:
+                    _fail(
+                        "Checkpoint",
+                        f"replica {r}: retained value for {op_id} diverges from replay",
+                    )
 
 
 class SpecInvariantChecker:
