@@ -24,8 +24,6 @@ Two tables:
 import os
 import time
 
-import pytest
-
 from repro.algorithm.checkpoint import CompactionPolicy
 from repro.datatypes import CounterType
 from repro.sim.cluster import SimulatedCluster, SimulationParams

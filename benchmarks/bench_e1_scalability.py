@@ -7,8 +7,6 @@ sweep runs 2-10 and additionally reports the single-server centralized
 baseline as the "1 replica" point.
 """
 
-import pytest
-
 from repro.baselines.atomic import CentralizedAtomicService
 from repro.datatypes import CounterType
 from repro.sim.cluster import SimulatedCluster, SimulationParams

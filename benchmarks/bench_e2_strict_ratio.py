@@ -5,8 +5,6 @@ Cheiner's experiment: the average percentage of strict requests is swept from
 requests.  This is the designed consistency/performance trade-off.
 """
 
-import pytest
-
 from repro.datatypes import CounterType
 from repro.sim.cluster import SimulatedCluster, SimulationParams
 from repro.sim.workload import WorkloadSpec, run_workload

@@ -11,8 +11,6 @@ The benchmark runs a mixed workload, prints the bound vs the measured maximum
 and mean per class, and asserts that no response violates its bound.
 """
 
-import pytest
-
 from repro.analysis.bounds import (
     TimingAssumptions,
     check_latency_records_against_bounds,

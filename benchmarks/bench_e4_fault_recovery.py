@@ -6,8 +6,6 @@ time (window end + one retransmission + one gossip period) every response is
 again within its bound.
 """
 
-import pytest
-
 from repro.analysis.bounds import TimingAssumptions, check_latency_records_against_bounds
 from repro.datatypes import CounterType
 from repro.sim.cluster import SimulatedCluster, SimulationParams

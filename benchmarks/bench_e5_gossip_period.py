@@ -8,8 +8,6 @@ to be observed done everywhere, one for that knowledge to spread.  Sweeping
 non-strict latency stays flat at ``2*df``.
 """
 
-import pytest
-
 from repro.analysis.bounds import TimingAssumptions, stabilization_time_bound
 from repro.datatypes import CounterType
 from repro.sim.cluster import SimulatedCluster, SimulationParams

@@ -8,8 +8,6 @@ applications per delivered response for the three variants on the same
 workload and checks that the external results agree.
 """
 
-import pytest
-
 from repro.algorithm.commute import CommuteReplicaCore
 from repro.algorithm.memoized import MemoizedReplicaCore
 from repro.algorithm.replica import IncrementalReplicaCore, ReplicaCore

@@ -14,8 +14,6 @@ but the same order of magnitude); centralized atomic saturates at one
 server's capacity while ESDS throughput scales with replicas (see E1).
 """
 
-import pytest
-
 from repro.baselines.atomic import CentralizedAtomicService
 from repro.baselines.lazy_ladin import LadinLazyReplicationService
 from repro.baselines.primary_copy import PrimaryCopyService

@@ -9,9 +9,7 @@ optimization, together with the payload growth that motivates incremental
 gossip.
 """
 
-import pytest
-
-from repro.algorithm.messages import GossipMessage, incremental_gossip
+from repro.algorithm.messages import incremental_gossip
 from repro.datatypes import CounterType
 from repro.sim.cluster import SimulatedCluster, SimulationParams
 from repro.sim.workload import WorkloadSpec, run_workload

@@ -23,7 +23,7 @@ import json
 import math
 import os
 from pathlib import Path
-from typing import Any, Dict, Iterable, List, Mapping, Sequence
+from typing import Any, Dict, Iterable, Mapping, Sequence
 
 BENCH_OUTPUT_DIR = Path(os.environ.get("BENCH_OUTPUT_DIR", Path(__file__).resolve().parent))
 

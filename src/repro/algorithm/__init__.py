@@ -37,12 +37,19 @@ Modules:
 from repro.algorithm.labels import Label, LabelGenerator, label_sort_key
 from repro.algorithm.checkpoint import (
     Checkpoint,
+    CheckpointAdvert,
     CompactionLedger,
     CompactionPolicy,
     OpIdSummary,
 )
 from repro.algorithm.delta import GossipSnapshot, PeerInState, PeerOutState
-from repro.algorithm.messages import GossipMessage, RequestMessage, ResponseMessage
+from repro.algorithm.messages import (
+    CheckpointTransferMessage,
+    GossipMessage,
+    PullRequestMessage,
+    RequestMessage,
+    ResponseMessage,
+)
 from repro.algorithm.channel import Channel, LossyChannel
 from repro.algorithm.frontend import FrontEndCore
 from repro.algorithm.replica import IncrementalReplicaCore, ReplicaCore
@@ -56,9 +63,12 @@ __all__ = [
     "LabelGenerator",
     "label_sort_key",
     "Checkpoint",
+    "CheckpointAdvert",
+    "CheckpointTransferMessage",
     "CompactionLedger",
     "CompactionPolicy",
     "OpIdSummary",
+    "PullRequestMessage",
     "GossipMessage",
     "GossipSnapshot",
     "PeerInState",

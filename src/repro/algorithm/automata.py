@@ -14,11 +14,10 @@ specification with the :class:`~repro.automata.simulation.ForwardSimulationCheck
 from __future__ import annotations
 
 import random
-from typing import Any, Callable, Dict, List, Mapping, Optional
+from typing import Any, Callable, List, Mapping, Optional
 
 from repro.algorithm.system import AlgorithmSystem
 from repro.automata.automaton import Action, IOAutomaton, Signature
-from repro.core.operations import OperationDescriptor
 
 
 class AlgorithmAutomaton(IOAutomaton):

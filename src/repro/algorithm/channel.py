@@ -11,7 +11,7 @@ the fault-injection tests exercise.
 from __future__ import annotations
 
 import random
-from typing import Any, Generic, List, Optional, TypeVar
+from typing import Generic, List, Optional, TypeVar
 
 M = TypeVar("M")
 

@@ -43,11 +43,12 @@ or an acknowledged delta basis stays internally consistent forever.
 
 from __future__ import annotations
 
+import hashlib
 from bisect import bisect_right
-from dataclasses import dataclass, field
+from dataclasses import dataclass
+from functools import cached_property
 from typing import (
     Any,
-    Callable,
     Dict,
     Iterable,
     List,
@@ -125,6 +126,12 @@ class OpIdSummary:
         """Number of stored intervals (the summary's actual size)."""
         return sum(len(intervals) for intervals in self._ranges.values())
 
+    @property
+    def ranges(self) -> Dict[str, Tuple[Tuple[int, int], ...]]:
+        """The per-client interval map (callers must treat it as read-only;
+        used for digests and wire accounting)."""
+        return self._ranges
+
     def __contains__(self, op_id: OperationId) -> bool:
         intervals = self._ranges.get(op_id.client)
         if not intervals:
@@ -185,6 +192,44 @@ class OpIdSummary:
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"OpIdSummary({self._count} ids, {self.interval_count} intervals)"
+
+
+@dataclass(frozen=True)
+class CheckpointAdvert:
+    """A compact *advertisement* of a checkpoint — what advert/pull gossip
+    ships in steady state instead of the checkpoint body.
+
+    It carries exactly the knowledge a peer needs to decide whether it is
+    caught up: the frontier label, a content digest (to match a later
+    transfer against), and the per-client interval summary of the folded
+    identifiers.  A receiver that still tracks (or has itself compacted)
+    every advertised identifier learns their everywhere-stability from the
+    advert alone; a receiver missing any of them must *pull* the checkpoint
+    body.  Crucially the advert's wire size is ``O(clients)`` in steady
+    state — independent of the history length and of the retained-value
+    ledger the body drags along.
+    """
+
+    frontier: Label
+    digest: str
+    ids: OpIdSummary
+
+    @property
+    def count(self) -> int:
+        """Number of identifiers the advertised checkpoint folded."""
+        return self.ids.count
+
+    def covers(self, op_id: OperationId) -> bool:
+        """Whether the advertised checkpoint folded *op_id*."""
+        return op_id in self.ids
+
+    def wire_estimate(self) -> int:
+        """Wire-size contribution: frontier + digest + the interval summary
+        (no state blob, no value ledger — that is the whole point)."""
+        return 2 + self.ids.interval_count
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"CheckpointAdvert(count={self.count}, digest={self.digest})"
 
 
 @dataclass(frozen=True)
@@ -269,6 +314,48 @@ class Checkpoint:
         """Crude wire-size contribution (for the E8-style payload metric):
         one state blob plus the interval summary plus the retained values."""
         return 1 + self.ids.interval_count + len(self.values)
+
+    @cached_property
+    def _digest(self) -> str:
+        material = repr((
+            self.frontier,
+            sorted(self.ids.ranges.items()),
+            self.count,
+            repr(self.base_state),
+            tuple(repr(op_id) for op_id in self.values),
+        ))
+        return hashlib.sha256(material.encode("utf-8")).hexdigest()[:16]
+
+    def digest(self) -> str:
+        """A content digest identifying this exact checkpoint (frontier, id
+        summary, base state and retained-value ids).  Adverts carry it so a
+        puller can match transfer chunks against the advertised content, and
+        so concurrent compaction at the sender is detectable (the transfer
+        then arrives under a *newer* digest, which is still acceptable — a
+        larger checkpoint is nested over the advertised one)."""
+        return self._digest
+
+    @cached_property
+    def _advert(self) -> Optional[CheckpointAdvert]:
+        if self.frontier is None:
+            return None
+        return CheckpointAdvert(frontier=self.frontier, digest=self.digest(), ids=self.ids)
+
+    def advert(self) -> Optional[CheckpointAdvert]:
+        """The compact advert for this checkpoint (``None`` while empty)."""
+        return self._advert
+
+    def value_chunks(self, chunk: Optional[int]) -> List[Dict[OperationId, Any]]:
+        """The retained-value ledger split into label-order slices of at most
+        *chunk* entries (``None`` or a covering chunk size yields a single
+        slice).  Slicing the insertion-ordered ledger keeps reassembly
+        order-preserving, which :meth:`merged_values`'s oldest-first eviction
+        depends on; each slice corresponds to a contiguous client-interval
+        range of the folded identifiers."""
+        items = list(self.values.items())
+        if chunk is None or chunk >= max(len(items), 1):
+            return [dict(items)]
+        return [dict(items[i : i + chunk]) for i in range(0, len(items), chunk)]
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"Checkpoint(count={self.count}, frontier={self.frontier})"

@@ -64,10 +64,24 @@ class CommuteReplicaCore(ReplicaCore):
     def receive_gossip(self, message: GossipMessage) -> None:
         """Merge gossip; newly learned done operations are applied to ``cs_r``
         in an order consistent with the client-specified constraints among
-        them (Fig. 11's receive loop).  Compaction runs only after that."""
+        them (Fig. 11's receive loop).  Compaction runs only after that.
+
+        During an advert/pull catch-up window the derived state is left
+        alone: ``cs_r`` is missing the awaited compacted prefix, so folding
+        more operations into it would only deepen the corruption.  The
+        window-closing hooks rebuild everything from the (possibly adopted)
+        checkpoint base; the ``x not in self.values`` filter below keeps
+        that rebuild and this incremental path from double-applying an
+        operation (``values`` records exactly the operations whose effect
+        is in ``cs_r``).
+        """
         previously_done = set(self.done_here())
         super().receive_gossip(message)
-        self._apply_in_csc_order(self.done_here() - previously_done)
+        if self.catching_up():
+            return
+        self._apply_in_csc_order({
+            x for x in self.done_here() - previously_done if x not in self.values
+        })
         self._memoize_available()
         if self.compaction is not None:
             self.maybe_compact()
@@ -145,6 +159,11 @@ class CommuteReplicaCore(ReplicaCore):
             return False
         if self.is_compacted(operation.id):
             return operation.id in self.checkpoint.values
+        if self.catching_up():
+            # Advert/pull catch-up: ``cs_r`` / ``val_r`` are missing the
+            # effects of the awaited compacted prefix (same replay gate as
+            # the base replica).
+            return False
         if operation not in self.done_here():
             return False
         if operation.strict:
@@ -200,6 +219,12 @@ class CommuteReplicaCore(ReplicaCore):
         self.current_state = self.checkpoint.base_state
         self.values = {}
         self._apply_in_csc_order(set(self.done_here()))
+
+    def _on_catchup_healed(self) -> None:
+        """A catch-up window closed through gossip re-delivery: ``cs_r`` /
+        ``val_r`` advanced by ``do_it`` during the window miss the (now
+        re-tracked) prefix — rebuild exactly as after an adoption."""
+        self._on_checkpoint_adopted()
 
     # ----------------------------------------------------------------- snapshot
 

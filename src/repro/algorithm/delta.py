@@ -28,6 +28,13 @@ before the crash, and peers observing the new epoch reset their bookkeeping
 and fall back to full-state gossip.  A periodic full-state fallback (every
 ``full_state_interval``-th send to a peer) bounds the staleness window even
 when the new epoch has not been observed yet.
+
+Checkpoint coverage follows the same never-resend-below-the-acked-frontier
+rule as the payload sets: a delta attaches the sender's checkpoint (as body
+or, under advert/pull gossip, as a compact advert) only when its frontier
+advanced past what the acknowledged basis already conveyed — see
+``ReplicaCore._checkpoint_attachment`` — so acked knowledge is never shipped
+twice in either mode.
 """
 
 from __future__ import annotations

@@ -142,9 +142,17 @@ class MemoizedReplicaCore(ReplicaCore):
         Memoizing eagerly after each gossip keeps ``ms`` close to the stable
         frontier, which is what a production implementation would do; it does
         not change external behaviour (memoize is an internal action).
+
+        Not during an advert/pull catch-up window, though: ``ms`` would fold
+        operations on top of a base that is missing the awaited compacted
+        prefix, and a memo poisoned that way would outlive the window when
+        it closes through gossip re-delivery.  The window-closing hooks
+        (:meth:`_on_checkpoint_adopted` / :meth:`_on_catchup_healed`) reset
+        the memo, and memoization simply resumes afterwards.
         """
         super().receive_gossip(message)
-        self.memoize_all_available()
+        if not self.catching_up():
+            self.memoize_all_available()
 
     # ------------------------------------------------------ compaction interplay
 
@@ -174,6 +182,14 @@ class MemoizedReplicaCore(ReplicaCore):
     def _on_crash(self) -> None:
         """The memo prefix is volatile (its operations were wiped); restart
         from the persisted checkpoint's base state."""
+        self.memoized = set()
+        self.memo_state = self.checkpoint.base_state
+        self.memo_values = {}
+
+    def _on_catchup_healed(self) -> None:
+        """A catch-up window closed through gossip re-delivery: anything
+        memoized against the holed history is invalid — restart memoization
+        from the checkpoint base (it re-advances on the next gossip)."""
         self.memoized = set()
         self.memo_state = self.checkpoint.base_state
         self.memo_values = {}

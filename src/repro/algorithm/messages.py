@@ -21,20 +21,27 @@ that the invariant checkers and the derived ``mc_r(m)`` constraints can be
 evaluated on the *effective* message ``delta ∪ basis`` — the knowledge the
 message actually conveys, which the receiver reconstructs for free because it
 already holds the basis.
+
+With advert/pull gossip (:meth:`repro.algorithm.replica.ReplicaCore.
+configure_advert_gossip`) the gossip message carries a compact
+:class:`~repro.algorithm.checkpoint.CheckpointAdvert` instead of the
+checkpoint body, and two further replica-to-replica message types complete
+the protocol: a :class:`PullRequestMessage` from a peer that detected it is
+behind the advertised frontier, and the :class:`CheckpointTransferMessage`
+chunks that answer it.  They travel on the same gossip channels; harnesses
+dispatch on ``message.kind``.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Any, Dict, FrozenSet, Mapping, Optional
+from typing import Any, Dict, FrozenSet, List, Optional
 
+from repro.algorithm.checkpoint import Checkpoint, CheckpointAdvert, OpIdSummary
 from repro.algorithm.delta import GossipSnapshot
 from repro.algorithm.labels import Label, LabelOrInfinity
 from repro.common import INFINITY, OperationId
 from repro.core.operations import OperationDescriptor
-
-if TYPE_CHECKING:  # pragma: no cover - type-only import
-    from repro.algorithm.checkpoint import Checkpoint
 
 
 @dataclass(frozen=True)
@@ -50,10 +57,21 @@ class RequestMessage:
 
 @dataclass(frozen=True)
 class ResponseMessage:
-    """A ``("response", x, v)`` message from a replica to a front end."""
+    """A ``("response", x, v)`` message from a replica to a front end.
+
+    ``stale`` marks the NACK variant: the replica compacted the operation and
+    its retained value has aged out of the ledger (finite
+    ``CompactionPolicy.value_retention``), so this replica can provably never
+    answer the retransmitted request.  ``sender`` identifies the NACKing
+    replica — a front end declares the operation failed only once *every*
+    replica has NACKed it (eviction of a compacted value is permanent, so
+    the set of NACKs can only grow).
+    """
 
     operation: OperationDescriptor
     value: Any
+    stale: bool = False
+    sender: Optional[str] = None
 
     @property
     def kind(self) -> str:
@@ -92,6 +110,12 @@ class GossipMessage:
       frontier: the payload sets above cover only the suffix, and a receiver
       missing part of the compacted prefix adopts the checkpoint wholesale
       instead of a full-history replay.
+    * ``advert`` — the advert/pull replacement for ``checkpoint``: a compact
+      :class:`~repro.algorithm.checkpoint.CheckpointAdvert` (frontier,
+      digest, interval summary) attached under the same conditions.  A
+      receiver that is behind pulls the body on demand instead of having it
+      shipped eagerly, so the steady-state payload stays bounded.  At most
+      one of ``checkpoint`` / ``advert`` is set.
     """
 
     sender: str
@@ -107,7 +131,8 @@ class GossipMessage:
     ack_stream: Optional[int] = None
     is_delta: bool = False
     basis: Optional[GossipSnapshot] = None
-    checkpoint: Optional["Checkpoint"] = None
+    checkpoint: Optional[Checkpoint] = None
+    advert: Optional[CheckpointAdvert] = None
 
     @property
     def kind(self) -> str:
@@ -156,25 +181,150 @@ class GossipMessage:
         merged.update(self.labels)
         return merged
 
-    def effective_checkpoint(self) -> Optional["Checkpoint"]:
-        """The checkpoint coverage this message conveys: the attached one
-        (sent when the frontier advanced) or, for a delta, the acknowledged
-        basis's — the receiver provably already holds that one."""
+    def effective_checkpoint(self) -> Optional[Checkpoint]:
+        """The checkpoint *body* this message conveys: the attached one (sent
+        when the frontier advanced) or, for a delta, the acknowledged
+        basis's — the receiver provably already holds that one.  An advert is
+        deliberately **not** a body: it becomes knowledge at the receiver
+        only once the pull it triggers completes, so advert-mode messages
+        convey at most the basis's checkpoint here."""
         if self.checkpoint is not None:
             return self.checkpoint
         if self.basis is not None:
             return self.basis.checkpoint
         return None
 
+    def coverage(self):
+        """The checkpoint *coverage* attached to this message — the body or
+        the advert, whichever travels (both expose ``covers`` / ``frontier``
+        / ``count``).  Used by structural sender-side invariant checks; for
+        receiver-side effective-knowledge evaluation use
+        :meth:`effective_checkpoint`, which excludes adverts."""
+        return self.checkpoint if self.checkpoint is not None else self.advert
+
     def size_estimate(self) -> int:
         """A crude wire-size metric (number of operation references carried),
-        used by the message-overhead benchmark (E8).  Counts only transmitted
-        fields — a delta's basis is never transmitted; an attached checkpoint
-        is (one state blob plus its interval summary and retained values)."""
+        used by the message-overhead benchmarks (E8/E11).  Counts only
+        transmitted fields — a delta's basis is never transmitted; an
+        attached checkpoint body is (one state blob plus its interval summary
+        and retained values), while an advert costs only its frontier, digest
+        and interval summary."""
         size = len(self.received) + len(self.done) + len(self.labels) + len(self.stable)
         if self.checkpoint is not None:
             size += self.checkpoint.wire_estimate()
+        if self.advert is not None:
+            size += self.advert.wire_estimate()
         return size
+
+
+@dataclass(frozen=True)
+class PullRequestMessage:
+    """A catch-up request from a replica that received a
+    :class:`~repro.algorithm.checkpoint.CheckpointAdvert` covering
+    identifiers it neither tracks nor has compacted.
+
+    ``requester`` is the behind replica, ``target`` the advertiser it pulls
+    from.  ``digest`` / ``frontier`` echo the advert that triggered the pull;
+    the target answers with its *current* checkpoint (which is nested over
+    the advertised one — compaction only ever extends the frozen prefix), so
+    a digest that has moved on by the time the pull arrives is not an error.
+    ``have_frontier`` is the requester's own frontier, carried for
+    diagnostics and symmetry with real catch-up protocols.
+    """
+
+    requester: str
+    target: str
+    digest: str
+    frontier: Label
+    have_frontier: Optional[Label] = None
+
+    @property
+    def kind(self) -> str:
+        return "pull"
+
+    def size_estimate(self) -> int:
+        """Pulls are constant-size control messages."""
+        return 3
+
+
+@dataclass(frozen=True)
+class CheckpointTransferMessage:
+    """One chunk of a checkpoint body answering a pull request.
+
+    The retained-value ledger is split into label-order slices (contiguous
+    client-interval ranges of the folded identifiers) of at most the
+    sender's configured chunk size; every chunk repeats the transfer
+    identity (``digest``, ``frontier``, ``ids``, ``chunk_count``) so chunks
+    can arrive in any order and partial transfers are resumable across
+    re-pulls, and only the **final** assembly needs the ``base_state`` blob,
+    carried by the last chunk (``chunk_index == chunk_count - 1``).
+
+    ``epoch`` is the sender's incarnation at send time: a receiver that
+    observes a newer epoch from the sender discards its partial assembly
+    (the retry path re-pulls from the recovered sender, whose persisted
+    checkpoint survives the crash).
+    """
+
+    sender: str
+    requester: str
+    epoch: int
+    digest: str
+    frontier: Label
+    ids: OpIdSummary
+    values_chunk: Dict[OperationId, Any]
+    chunk_index: int
+    chunk_count: int
+    base_state: Any = None
+
+    @property
+    def kind(self) -> str:
+        return "transfer"
+
+    @property
+    def carries_state(self) -> bool:
+        return self.chunk_index == self.chunk_count - 1
+
+    def size_estimate(self) -> int:
+        """Wire-size contribution of one chunk: its value slice, plus the
+        interval summary repeated for identity, plus the state blob on the
+        final chunk."""
+        size = 1 + self.ids.interval_count + len(self.values_chunk)
+        if self.carries_state:
+            size += 1
+        return size
+
+
+def checkpoint_transfers(
+    checkpoint: Checkpoint,
+    sender: str,
+    requester: str,
+    epoch: int,
+    chunk: Optional[int] = None,
+) -> List[CheckpointTransferMessage]:
+    """Build the transfer chunks answering a pull with *checkpoint*.
+
+    With ``chunk=None`` the transfer is a single message; otherwise the
+    retained-value ledger is streamed in slices of at most *chunk* values so
+    a recovering replica catches up from a sequence of bounded messages
+    instead of one giant one.
+    """
+    slices = checkpoint.value_chunks(chunk)
+    digest = checkpoint.digest()
+    return [
+        CheckpointTransferMessage(
+            sender=sender,
+            requester=requester,
+            epoch=epoch,
+            digest=digest,
+            frontier=checkpoint.frontier,
+            ids=checkpoint.ids,
+            values_chunk=values,
+            chunk_index=index,
+            chunk_count=len(slices),
+            base_state=checkpoint.base_state if index == len(slices) - 1 else None,
+        )
+        for index, values in enumerate(slices)
+    ]
 
 
 def incremental_gossip(previous: GossipMessage, current: GossipMessage) -> GossipMessage:
@@ -204,4 +354,5 @@ def incremental_gossip(previous: GossipMessage, current: GossipMessage) -> Gossi
         stable=current.stable - previous.stable,
         is_delta=True,
         checkpoint=current.checkpoint,
+        advert=current.advert,
     )

@@ -47,15 +47,55 @@ history.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Set, Tuple
+from typing import Any, Callable, Dict, List, Optional, Sequence, Set, Tuple
 
-from repro.algorithm.checkpoint import Checkpoint, CompactionPolicy
+from repro.algorithm.checkpoint import Checkpoint, CheckpointAdvert, CompactionPolicy
 from repro.algorithm.delta import GossipSnapshot, PeerInState, PeerOutState
 from repro.algorithm.labels import Label, LabelGenerator, LabelOrInfinity, label_min, label_sort_key
-from repro.algorithm.messages import GossipMessage, RequestMessage, ResponseMessage
+from repro.algorithm.messages import (
+    CheckpointTransferMessage,
+    GossipMessage,
+    PullRequestMessage,
+    RequestMessage,
+    ResponseMessage,
+    checkpoint_transfers,
+)
 from repro.common import INFINITY, ConfigurationError, OperationId, SpecificationError
 from repro.core.operations import OperationDescriptor
 from repro.datatypes.base import SerialDataType
+
+
+@dataclass
+class TransferAssembly:
+    """Receiver-side reassembly state for one in-flight checkpoint transfer
+    (keyed per sender; a chunk under a newer digest or sender epoch replaces
+    the partial assembly — the newer checkpoint is nested over the older —
+    while chunks from an *older* transfer, delayed on the unordered network,
+    are ignored rather than allowed to clobber the newer assembly)."""
+
+    digest: str
+    epoch: int
+    frontier: Label
+    chunk_count: int
+    chunks: Dict[int, "CheckpointTransferMessage"] = field(default_factory=dict)
+
+    def complete(self) -> bool:
+        return len(self.chunks) == self.chunk_count
+
+    def assemble(self) -> Checkpoint:
+        """Rebuild the checkpoint from a complete chunk set (value slices are
+        concatenated in chunk order, preserving the ledger's oldest-first
+        insertion order)."""
+        values: Dict[OperationId, Any] = {}
+        for index in range(self.chunk_count):
+            values.update(self.chunks[index].values_chunk)
+        final = self.chunks[self.chunk_count - 1]
+        return Checkpoint(
+            base_state=final.base_state,
+            frontier=final.frontier,
+            ids=final.ids,
+            values=values,
+        )
 
 
 @dataclass
@@ -130,6 +170,35 @@ class ReplicaCore:
         self.full_state_interval: int = 8
         self._peer_out: Dict[str, PeerOutState] = {}
         self._peer_in: Dict[str, PeerInState] = {}
+
+        #: Advert/pull gossip configuration: with it enabled, gossip carries
+        #: a compact checkpoint advert instead of the checkpoint body, and a
+        #: behind peer pulls the body on demand (optionally chunked).
+        self.advert_gossip: bool = False
+        self.checkpoint_chunk: Optional[int] = None
+        #: Outgoing pull requests queued by staleness detection (volatile);
+        #: keyed by the advertising peer, drained by the harness.
+        self._pull_queue: Dict[str, CheckpointAdvert] = {}
+        #: Partial checkpoint-transfer assemblies, keyed by sender (volatile).
+        self._transfer_in: Dict[str, TransferAssembly] = {}
+        #: The highest-frontier advert whose coverage this replica detected
+        #: itself *missing* part of (volatile).  While set, the replica is in
+        #: catch-up: its label order has a hole below the advertised
+        #: frontier, so local replays are untrustworthy — it neither answers
+        #: tracked requests nor compacts until the hole closes (via an
+        #: adopted transfer, or via ordinary gossip from a peer that still
+        #: tracks the missing operations).  Eager shipping never needs this:
+        #: there the body rides on the very message that reveals the gap.
+        self._await: Optional[CheckpointAdvert] = None
+        #: Memo for :meth:`catching_up`: (state version it was computed at,
+        #: result) — the re-evaluation scans ``done_here``, and response
+        #: predicates call it once per pending operation.
+        self._await_check: Optional[Tuple[int, bool]] = None
+
+        #: Retransmitted requests whose compacted value aged out of the
+        #: ledger: queued for an explicit stale-response NACK instead of
+        #: being silently dropped; drained by the harness.
+        self._stale_nacks: List[OperationDescriptor] = []
         #: Monotone counter bumped on every state mutation, so make_gossip
         #: can reuse the previous payload snapshot when nothing changed
         #: (idle gossip ticks dominate long runs).
@@ -177,6 +246,24 @@ class ReplicaCore:
             raise ConfigurationError("full_state_interval must be at least 1")
         self.delta_gossip = enabled
         self.full_state_interval = full_state_interval
+
+    def configure_advert_gossip(
+        self, enabled: bool = True, checkpoint_chunk: Optional[int] = None
+    ) -> None:
+        """Switch advert/pull checkpoint gossip on or off.
+
+        With it on, full-state (and frontier-advancing delta) messages attach
+        a :class:`~repro.algorithm.checkpoint.CheckpointAdvert` instead of
+        the checkpoint body, bounding their steady-state payload; a receiver
+        that detects it is behind the advertised frontier issues a pull
+        request and the advertiser streams the body back in
+        ``checkpoint_chunk``-sized value slices (``None`` = one message).
+        Orthogonal to both delta gossip and the compaction policy itself.
+        """
+        if checkpoint_chunk is not None and checkpoint_chunk < 1:
+            raise ConfigurationError("checkpoint_chunk must be at least 1 or None")
+        self.advert_gossip = enabled
+        self.checkpoint_chunk = checkpoint_chunk
 
     def enable_incremental_replay(self, enabled: bool = True) -> None:
         """Switch the incremental value-replay cache on or off.
@@ -259,20 +346,32 @@ class ReplicaCore:
         A retransmitted request for an already-compacted operation is queued
         for a response without re-tracking the operation: its value is fixed
         and (retention permitting) retained by the checkpoint.  When the
-        value has already aged out of a finite retention window the request
-        is dropped instead — this replica can provably never answer it, and
-        a permanently unanswerable ``pending`` entry would grow without
-        bound under retransmission.
+        value has already aged out of a finite retention window this replica
+        can provably never answer it — a permanently unanswerable ``pending``
+        entry would grow without bound under retransmission — so the request
+        is queued for an explicit stale-response NACK instead (see
+        :meth:`take_stale_nacks`): the front end learns the value is gone
+        rather than waiting forever.
         """
         operation = message.operation
         if self.is_compacted(operation.id):
             if operation.id in self.checkpoint.values:
                 self.pending.add(operation)
                 self._state_version += 1
+            else:
+                self._stale_nacks.append(operation)
             return
         self.pending.add(operation)
         self.rcvd.add(operation)
         self._state_version += 1
+
+    def take_stale_nacks(self) -> List[OperationDescriptor]:
+        """Drain the queued stale-response NACKs (retransmits for compacted
+        operations whose retained value was evicted).  The harness turns each
+        into a ``ResponseMessage(..., stale=True, sender=...)`` so the front
+        end can stop waiting once every replica has NACKed."""
+        nacks, self._stale_nacks = self._stale_nacks, []
+        return nacks
 
     def can_do(self, operation: OperationDescriptor) -> bool:
         """Precondition of ``do_it_r(x, l)``: received, not yet done here, and
@@ -363,11 +462,19 @@ class ReplicaCore:
         A compacted operation is answerable exactly when its fixed value is
         still retained by the checkpoint (always, under the default unbounded
         ``value_retention``).
+
+        A replica in advert/pull catch-up answers only from retained
+        checkpoint values: its tracked history has a hole below the awaited
+        frontier, so a local replay could omit compacted effects and report
+        a wrong value.  Liveness is preserved by the pull retries (or by a
+        peer that still tracks everything answering instead).
         """
         if operation not in self.pending:
             return False
         if self.is_compacted(operation.id):
             return operation.id in self.checkpoint.values
+        if self.catching_up():
+            return False
         if operation not in self.done_here():
             return False
         if operation.strict and not self.is_stable_everywhere(operation):
@@ -483,7 +590,6 @@ class ReplicaCore:
         :mod:`repro.algorithm.delta`.
         """
         self.stats.gossip_sent += 1
-        checkpoint = self.checkpoint if self.checkpoint.count else None
         if not self.delta_gossip or destination is None:
             return GossipMessage(
                 sender=self.replica_id,
@@ -492,7 +598,7 @@ class ReplicaCore:
                 labels=dict(self.labels),
                 stable=frozenset(self.stable_here()),
                 epoch=self._epoch,
-                checkpoint=checkpoint,
+                **self._checkpoint_attachment(self.checkpoint),
             )
         if destination == self.replica_id:
             raise SpecificationError("a replica does not gossip with itself")
@@ -525,18 +631,17 @@ class ReplicaCore:
                 stream=out.stream,
                 seqno=seqno,
                 **acks,
-                checkpoint=snapshot.checkpoint if snapshot.checkpoint is not None
-                and snapshot.checkpoint.count else None,
+                **self._checkpoint_attachment(snapshot.checkpoint),
             )
         out.sends_since_full += 1
         # A delta never resends knowledge at or below the acked basis — which
         # includes everything compacted since: those operations simply left
-        # the payload snapshot.  The checkpoint itself is advertised only when
-        # the frontier advanced past what the basis already conveyed.
+        # the payload snapshot.  The checkpoint itself travels (as body or
+        # advert) only when the frontier advanced past what the basis already
+        # conveyed — the same "nothing below the acked frontier is resent"
+        # rule the payload sets follow.
         basis_count = basis.checkpoint.count if basis.checkpoint is not None else 0
-        advert = None
-        if snapshot.checkpoint is not None and snapshot.checkpoint.count > basis_count:
-            advert = snapshot.checkpoint
+        advanced = snapshot.checkpoint is not None and snapshot.checkpoint.count > basis_count
         return GossipMessage(
             sender=self.replica_id,
             received=snapshot.received - basis.received,
@@ -553,8 +658,17 @@ class ReplicaCore:
             **acks,
             is_delta=True,
             basis=basis,
-            checkpoint=advert,
+            **self._checkpoint_attachment(snapshot.checkpoint if advanced else None),
         )
+
+    def _checkpoint_attachment(self, checkpoint: Optional[Checkpoint]) -> Dict[str, Any]:
+        """The checkpoint-coverage field for an outgoing gossip message: the
+        body under eager shipping, the compact advert under advert/pull."""
+        if checkpoint is None or not checkpoint.count:
+            return {}
+        if self.advert_gossip:
+            return {"advert": checkpoint.advert()}
+        return {"checkpoint": checkpoint}
 
     def _payload_snapshot(self) -> GossipSnapshot:
         """The current ``(R, D, L, S)`` payload, reusing the previous
@@ -582,8 +696,11 @@ class ReplicaCore:
         elements.  Knowledge at or below this replica's compaction frontier
         is already folded into the checkpoint and is filtered out instead of
         re-tracked; an attached sender checkpoint ahead of ours is merged
-        first (see :meth:`_merge_checkpoint`).  Delta bookkeeping (seqno
-        frontier, acks, epochs) is updated afterwards.
+        first (see :meth:`_merge_checkpoint`), while an attached *advert* is
+        either absorbed as stability knowledge (when everything it covers is
+        still tracked or compacted here) or queued for a pull (see
+        :meth:`_consider_advert`).  Delta bookkeeping (seqno frontier, acks,
+        epochs) is updated afterwards.
         """
         sender = message.sender
         if sender == self.replica_id:
@@ -593,6 +710,8 @@ class ReplicaCore:
 
         if message.checkpoint is not None:
             self._merge_checkpoint(message.checkpoint)
+        elif message.advert is not None:
+            self._consider_advert(sender, message.advert)
 
         checkpoint = self.checkpoint
         if checkpoint.count:
@@ -652,9 +771,13 @@ class ReplicaCore:
         in_state = self._peer_in.setdefault(sender, PeerInState(epoch=message.epoch))
         if message.epoch > in_state.epoch:
             # The sender restarted: its seqno streams start over and every
-            # acknowledgement it issued before the crash is void.
+            # acknowledgement it issued before the crash is void.  A partial
+            # checkpoint transfer from the old incarnation is abandoned too —
+            # the persisted checkpoint survives the crash, so the retry pull
+            # fetches the same (or a newer, nested) body.
             in_state.reset(message.epoch)
             self._peer_out.setdefault(sender, PeerOutState()).reset()
+            self._transfer_in.pop(sender, None)
         if message.seqno is not None and message.epoch == in_state.epoch:
             in_state.record_receipt(message.stream, message.seqno,
                                     is_full=not message.is_delta)
@@ -687,8 +810,13 @@ class ReplicaCore:
         """Fold the compactable prefix into the checkpoint when the policy
         says so (*force* ignores the ``min_batch`` amortization gate — the
         simulator's interval-driven compaction tick uses it).  Returns the
-        number of operations folded."""
-        if self.compaction is None:
+        number of operations folded.
+
+        A replica in advert/pull catch-up never compacts: its label order is
+        missing part of the agreed prefix, so what it would fold is not a
+        prefix of the system-wide order (the ledger would flag the
+        divergence).  Compaction resumes once the hole closes."""
+        if self.compaction is None or self.catching_up():
             return 0
         prefix = self.compactable_prefix()
         if not prefix or (not force and len(prefix) < self.compaction.min_batch):
@@ -765,8 +893,187 @@ class ReplicaCore:
         for operation in prefix:
             self._replay_values.pop(operation.id, None)
 
+    def _coverage_position(self, coverage) -> Tuple[Set[OperationDescriptor], int]:
+        """How much of *coverage* (a checkpoint body or advert — anything
+        with ``covers``/``ids``/``count``) this replica already holds:
+        the covered operations still tracked here, and the number of covered
+        identifiers missing entirely (neither tracked nor in our own
+        checkpoint)."""
+        tracked = {x for x in self.done_here() if coverage.covers(x.id)}
+        covered = len(tracked) + self.checkpoint.ids.intersection_count(coverage.ids)
+        return tracked, coverage.count - covered
+
+    def _behind_frontier(self, frontier: Label) -> bool:
+        """Whether *frontier* is ahead of our own compaction frontier."""
+        ours = self.checkpoint.frontier
+        return ours is None or label_sort_key(ours) < label_sort_key(frontier)
+
+    def _mark_coverage_stable(self, tracked: Set[OperationDescriptor]) -> None:
+        """Absorb a checkpoint's stability assertion for operations still
+        tracked here (sound: the sender verified ``x in stable_sender[i]``
+        for every replica ``i`` before compacting, and ``stable_sender[i]``
+        is within ``stable_i[i]``)."""
+        if not tracked:
+            return
+        for i in self.replica_ids:
+            self.done[i] |= tracked
+            self.stable[i] |= tracked
+        self._state_version += 1
+
+    def _consider_advert(self, sender: str, advert: CheckpointAdvert) -> None:
+        """Staleness detection against a received checkpoint advert.
+
+        When everything the advert covers is still tracked (or compacted)
+        here, the advert alone conveys the stability knowledge the body
+        would have — no transfer needed, which is the steady-state path that
+        keeps the wire payload flat.  Otherwise this replica is behind the
+        advertised frontier (crash recovery, late join): it queues a pull
+        request toward the advertiser and enters catch-up (see ``_await``);
+        the queue entry survives lost pulls and transfers because every
+        subsequent advert re-runs this check.
+        """
+        if advert.count == 0 or not self._behind_frontier(advert.frontier):
+            return
+        tracked, missing = self._coverage_position(advert)
+        if missing == 0:
+            self._mark_coverage_stable(tracked)
+            self._refresh_await()
+        else:
+            self._pull_queue[sender] = advert
+            if self._await is None or label_sort_key(advert.frontier) > label_sort_key(
+                self._await.frontier
+            ):
+                self._await = advert
+                self._await_check = None
+
+    def catching_up(self) -> bool:
+        """Whether this replica currently knows it is missing part of an
+        advertised compacted prefix (the advert/pull catch-up window).
+        Memoized per state version: the answer can only change when state
+        changes, and callers probe it once per pending operation."""
+        if self._await is None:
+            return False
+        if self._await_check is not None and self._await_check[0] == self._state_version:
+            return self._await_check[1]
+        self._refresh_await()
+        result = self._await is not None
+        self._await_check = (self._state_version, result)
+        return result
+
+    def _refresh_await(self) -> None:
+        """Re-evaluate the catch-up condition against the awaited advert.
+
+        The hole can close two ways: a transfer was adopted (our frontier
+        moved past the awaited one), or ordinary gossip from peers that
+        still track the missing operations re-delivered them all — in which
+        case the advert's stability assertion now applies and is absorbed,
+        exactly as if ``missing`` had been zero on first receipt.
+        """
+        if self._await is None:
+            return
+        if not self._behind_frontier(self._await.frontier):
+            # Our frontier moved past the awaited one: only adoption can do
+            # that while compaction is gated, and the adoption hook already
+            # rebuilt any derived state.
+            self._await = None
+            return
+        tracked, missing = self._coverage_position(self._await)
+        if missing == 0:
+            self._mark_coverage_stable(tracked)
+            self._await = None
+            # The hole closed through ordinary gossip (no adoption ran):
+            # derived state computed against the holed history — the
+            # memoizing variants' memo/current state — must be rebuilt now
+            # that the full prefix is tracked again.
+            self._on_catchup_healed()
+
+    def take_pending_pulls(self) -> List[PullRequestMessage]:
+        """Drain the queued pull requests as sendable messages.
+
+        Dropped pulls (or transfers) re-queue themselves: the next advert
+        from a peer we are still behind re-enters the queue via
+        :meth:`_consider_advert`, so retry needs no timer of its own.
+        """
+        pulls = [
+            PullRequestMessage(
+                requester=self.replica_id,
+                target=peer,
+                digest=advert.digest,
+                frontier=advert.frontier,
+                have_frontier=self.checkpoint.frontier,
+            )
+            for peer, advert in self._pull_queue.items()
+        ]
+        self._pull_queue.clear()
+        return pulls
+
+    def receive_pull_request(self, message: PullRequestMessage) -> List[CheckpointTransferMessage]:
+        """Answer a pull with transfer chunks of our *current* checkpoint.
+
+        The current checkpoint may have advanced past the advertised digest
+        (concurrent compaction); that is fine — checkpoints are nested, so
+        the newer body covers everything the requester asked for.  An empty
+        checkpoint (possible after a volatile crash wiped nothing but the
+        peer pulled against a stale advert from a previous incarnation — the
+        checkpoint itself persists, so in practice only when nothing was
+        ever compacted) yields no chunks; the requester retries off later
+        adverts.
+        """
+        if message.target != self.replica_id:
+            raise SpecificationError(
+                f"pull request for {message.target!r} delivered to {self.replica_id!r}"
+            )
+        if self.checkpoint.count == 0:
+            return []
+        return checkpoint_transfers(
+            self.checkpoint,
+            sender=self.replica_id,
+            requester=message.requester,
+            epoch=self._epoch,
+            chunk=self.checkpoint_chunk,
+        )
+
+    def receive_transfer(self, message: CheckpointTransferMessage) -> None:
+        """Accumulate one transfer chunk; adopt the checkpoint when the
+        assembly completes.
+
+        Chunks are keyed per sender: a chunk under a newer digest (the
+        sender compacted again mid-transfer) or a newer sender epoch (the
+        sender crashed and recovered) replaces the partial assembly — in
+        both cases the replacement checkpoint is nested over the abandoned
+        one, so nothing is lost beyond the re-pulled chunks.
+        """
+        if message.requester != self.replica_id:
+            raise SpecificationError(
+                f"transfer for {message.requester!r} delivered to {self.replica_id!r}"
+            )
+        if not self._behind_frontier(message.frontier):
+            self._transfer_in.pop(message.sender, None)
+            return  # already caught up through another peer's transfer
+        assembly = self._transfer_in.get(message.sender)
+        if assembly is not None and (
+            message.epoch < assembly.epoch
+            or label_sort_key(message.frontier) < label_sort_key(assembly.frontier)
+        ):
+            return  # delayed straggler from an older, superseded transfer
+        if assembly is None or assembly.digest != message.digest or assembly.epoch != message.epoch:
+            assembly = TransferAssembly(
+                digest=message.digest,
+                epoch=message.epoch,
+                frontier=message.frontier,
+                chunk_count=message.chunk_count,
+            )
+            self._transfer_in[message.sender] = assembly
+        assembly.chunks[message.chunk_index] = message
+        if not assembly.complete():
+            return
+        del self._transfer_in[message.sender]
+        self._merge_checkpoint(assembly.assemble())
+        self._post_merge()
+
     def _merge_checkpoint(self, incoming: Checkpoint) -> None:
-        """Merge a gossiped checkpoint ahead of our frontier.
+        """Merge a checkpoint body ahead of our frontier (eager gossip
+        attaches it to messages; advert/pull delivers it via transfers).
 
         The checkpoint asserts that everything it covers is stable at every
         replica.  If we still track all of its operations we simply record
@@ -777,25 +1084,12 @@ class ReplicaCore:
         peers can no longer send.
         """
         ours = self.checkpoint
-        if incoming.count == 0:
-            return
-        if ours.frontier is not None and label_sort_key(ours.frontier) >= label_sort_key(
-            incoming.frontier
-        ):
+        if incoming.count == 0 or not self._behind_frontier(incoming.frontier):
             return  # nested checkpoints: ours already covers the incoming one
-        tracked = {x for x in self.done_here() if incoming.covers(x.id)}
-        covered = len(tracked) + ours.ids.intersection_count(incoming.ids)
-        missing = incoming.count - covered
+        tracked, missing = self._coverage_position(incoming)
         if missing == 0:
-            # Everything the sender compacted is still tracked here: adopt
-            # only the stability knowledge (sound: the sender verified
-            # ``x in stable_sender[i]`` for every replica ``i`` before
-            # compacting, and stable_sender[i] is within stable_i[i]).
-            if tracked:
-                for i in self.replica_ids:
-                    self.done[i] |= tracked
-                    self.stable[i] |= tracked
-                self._state_version += 1
+            self._mark_coverage_stable(tracked)
+            self._refresh_await()
             return
         if not ours.ids.issubset(incoming.ids):  # pragma: no cover - defensive
             raise SpecificationError(
@@ -819,9 +1113,17 @@ class ReplicaCore:
             del self._stable_storage[op_id]
         self._drop_unanswerable_pending()
         self._label_generator.observed(self.checkpoint.frontier)
+        # Queued pulls the adopted frontier now satisfies would only fetch
+        # bodies we already hold.
+        self._pull_queue = {
+            peer: advert
+            for peer, advert in self._pull_queue.items()
+            if self._behind_frontier(advert.frontier)
+        }
         self._order_dirty = True
         self._reset_replay_cache()
         self._on_checkpoint_adopted()
+        self._refresh_await()
         self._state_version += 1
 
     def _drop_unanswerable_pending(self) -> None:
@@ -841,6 +1143,11 @@ class ReplicaCore:
     def _on_checkpoint_adopted(self) -> None:
         """Hook for subclasses to rebuild derived state after a wholesale
         checkpoint adoption (crash recovery catch-up)."""
+
+    def _on_catchup_healed(self) -> None:
+        """Hook for subclasses whose derived state advanced against a holed
+        history: called when an advert/pull catch-up window closes through
+        ordinary gossip re-delivery instead of a transfer adoption."""
 
     # ------------------------------------------------------------- state sizing
 
@@ -900,6 +1207,11 @@ class ReplicaCore:
         self._epoch += 1
         self._peer_out = {}
         self._peer_in = {}
+        self._pull_queue = {}
+        self._transfer_in = {}
+        self._await = None
+        self._await_check = None
+        self._stale_nacks = []
         self._state_version += 1
         self._snapshot_cache = None
         self._reset_replay_cache()

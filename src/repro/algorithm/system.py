@@ -24,7 +24,7 @@ The class also exposes the derived state variables of Fig. 8:
 from __future__ import annotations
 
 import random
-from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Set, Tuple
+from typing import Any, Callable, Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.algorithm.channel import Channel
 from repro.algorithm.checkpoint import CompactionLedger, CompactionPolicy
@@ -81,6 +81,18 @@ class AlgorithmSystem:
         unstable suffix.  The system keeps the agreed compacted prefix in a
         :class:`CompactionLedger` so eventual-order witnesses and invariant
         checks still see the full history.
+    advert_gossip:
+        When true, gossip carries a compact checkpoint *advert* (frontier,
+        digest, id-interval summary) instead of the checkpoint body; a
+        replica behind the advertised frontier issues a pull request and the
+        advertiser answers with checkpoint-transfer chunks.  Pull and
+        transfer messages travel on the gossip channels and are dispatched
+        by :meth:`receive_gossip`.  Steady-state payload becomes independent
+        of the history length; executions stay response-identical to eager
+        shipping.
+    checkpoint_chunk:
+        With advert gossip, the maximum number of retained values per
+        transfer chunk (``None`` = one message per transfer).
     """
 
     def __init__(
@@ -94,6 +106,8 @@ class AlgorithmSystem:
         full_state_interval: int = 8,
         incremental_replay: bool = False,
         compaction: Optional[CompactionPolicy] = None,
+        advert_gossip: bool = False,
+        checkpoint_chunk: Optional[int] = None,
     ) -> None:
         if len(set(replica_ids)) < 2:
             raise ConfigurationError("the algorithm assumes at least two replicas")
@@ -106,7 +120,7 @@ class AlgorithmSystem:
         factory = replica_factory or ReplicaCore
         self.users = users if users is not None else Users()
         self.frontends: Dict[str, FrontEndCore] = {
-            c: FrontEndCore(c) for c in self.client_ids
+            c: FrontEndCore(c, self.replica_ids) for c in self.client_ids
         }
         self.replicas: Dict[str, ReplicaCore] = {
             r: factory(r, self.replica_ids, data_type) for r in self.replica_ids
@@ -121,6 +135,8 @@ class AlgorithmSystem:
                 core.enable_incremental_replay()
             if compaction is not None:
                 core.configure_compaction(compaction)
+            if advert_gossip:
+                core.configure_advert_gossip(True, checkpoint_chunk)
             core.on_compact = self.compaction_ledger.record
 
         self.request_channels: Dict[Tuple[str, str], Channel[RequestMessage]] = {
@@ -160,9 +176,18 @@ class AlgorithmSystem:
         self, client: str, replica: str, message: Optional[RequestMessage] = None,
         rng: Optional[random.Random] = None,
     ) -> RequestMessage:
-        """``receive_cr(("request", x))`` — deliver one request message."""
+        """``receive_cr(("request", x))`` — deliver one request message.
+
+        A retransmit the replica can provably never answer (compacted, value
+        evicted) triggers an immediate stale-response NACK onto the response
+        channel instead of a silent drop."""
         delivered = self.request_channels[(client, replica)].receive(message, rng)
-        self.replicas[replica].receive_request(delivered)
+        core = self.replicas[replica]
+        core.receive_request(delivered)
+        for operation in core.take_stale_nacks():
+            self.response_channels[(replica, operation.id.client)].send(
+                ResponseMessage(operation=operation, value=None, stale=True, sender=replica)
+            )
         return delivered
 
     def do_it(self, replica: str, operation: OperationDescriptor, label: Optional[Label] = None) -> Label:
@@ -207,9 +232,22 @@ class AlgorithmSystem:
         self, source: str, destination: str, message: Optional[GossipMessage] = None,
         rng: Optional[random.Random] = None,
     ) -> GossipMessage:
-        """``receive_r'r(("gossip", ...))``."""
+        """``receive_r'r(("gossip", ...))`` — also dispatches the advert/pull
+        protocol's pull-request and checkpoint-transfer messages, which share
+        the gossip channels.  Receiving a gossip message whose advert shows
+        this replica behind enqueues a pull; receiving a pull enqueues the
+        transfer chunks back toward the requester."""
         delivered = self.gossip_channels[(source, destination)].receive(message, rng)
-        self.replicas[destination].receive_gossip(delivered)
+        replica = self.replicas[destination]
+        if delivered.kind == "pull":
+            for transfer in replica.receive_pull_request(delivered):
+                self.gossip_channels[(destination, transfer.requester)].send(transfer)
+        elif delivered.kind == "transfer":
+            replica.receive_transfer(delivered)
+        else:
+            replica.receive_gossip(delivered)
+            for pull in replica.take_pending_pulls():
+                self.gossip_channels[(destination, pull.target)].send(pull)
         return delivered
 
     # ====================================================================== #
@@ -289,12 +327,16 @@ class AlgorithmSystem:
         replica: str,
         universe: Set[OperationId],
         label_of: Callable[[OperationId], LabelOrInfinity],
+        position: Optional[Dict[OperationId, int]] = None,
     ) -> Set[Tuple[OperationId, OperationId]]:
         """The label-induced constraints over *universe* as seen at
         *replica*, with its compacted identifiers ordered among themselves
         by their frozen ledger position and before every other identifier —
-        the shared core of ``lc_r`` and ``mc_r(m)``."""
-        position = self._compacted_positions(replica)
+        the shared core of ``lc_r`` and ``mc_r(m)``.  *position* overrides
+        the replica's own compacted-prefix positions (used for transfer
+        messages, whose adoption would extend the covered prefix)."""
+        if position is None:
+            position = self._compacted_positions(replica)
         constraints: Set[Tuple[OperationId, OperationId]] = set()
         for a in universe:
             pos_a = position.get(a)
@@ -315,7 +357,7 @@ class AlgorithmSystem:
         return constraints
 
     def message_constraints(
-        self, replica: str, message: GossipMessage
+        self, replica: str, message
     ) -> Set[Tuple[OperationId, OperationId]]:
         """``mc_r(m)`` — the local constraints replica *r* would have if it
         received *message* immediately (restricted to the ``ops`` universe).
@@ -323,9 +365,31 @@ class AlgorithmSystem:
         Identifiers compacted at *r* keep their frozen prefix order (the
         receiver ignores gossiped labels for them), exactly as in
         :meth:`local_constraints`.
+
+        Advert/pull messages are handled by what receiving them actually
+        does: a *pull* conveys no knowledge (``mc_r`` is just ``lc_r``); a
+        *transfer* extends the receiver's covered prefix to the transferred
+        checkpoint (its identifiers adopt their frozen ledger positions); a
+        gossip message carrying an **advert** contributes only its label
+        payload — the advert becomes knowledge only after the pull
+        completes, so it adds nothing here.
         """
         core = self.replicas[replica]
         universe = {x.id for x in self.ops()}
+        if message.kind == "pull":
+            return self.local_constraints(replica)
+        if message.kind == "transfer":
+            count = max(core.checkpoint.count, message.ids.count)
+            position = {
+                x.id: index
+                for index, x in enumerate(self.compaction_ledger.prefix[:count])
+            }
+            return self._constraints_with_prefix(
+                replica,
+                universe,
+                lambda op_id: core.label_of(op_id),
+                position=position,
+            )
         checkpoint = core.checkpoint
         merged: Dict[OperationId, LabelOrInfinity] = {
             op_id: label_min(core.label_of(op_id), message.label_of(op_id))
@@ -361,6 +425,8 @@ class AlgorithmSystem:
             if not agreed:
                 return set()
         for destination, message in self.in_transit_gossip():
+            if message.kind == "pull":
+                continue  # conveys no knowledge; mc would be exactly lc
             agreed &= self.message_constraints(destination, message)
             if not agreed:
                 return set()
@@ -376,14 +442,16 @@ class AlgorithmSystem:
 
     def potential_rept(self, client: str) -> Set[Tuple[OperationDescriptor, Any]]:
         """``potential_rept_c`` — responses en route to *client* for
-        operations still waiting."""
+        operations still waiting.  Stale-response NACKs carry no value and
+        can never be recorded in ``rept``, so they are not potential
+        responses."""
         frontend = self.frontends[client]
         result: Set[Tuple[OperationDescriptor, Any]] = set()
         for (replica, dest), channel in self.response_channels.items():
             if dest != client:
                 continue
             for message in channel.contents():
-                if message.operation in frontend.wait:
+                if message.operation in frontend.wait and not message.stale:
                     result.add((message.operation, message.value))
         return result
 

@@ -18,7 +18,7 @@ time ``t`` onwards, an operation requested by time ``t`` is answered within
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Tuple
+from typing import Dict, Iterable, List, Tuple
 
 from repro.core.operations import OperationDescriptor
 from repro.sim.metrics import LatencyRecord, classify_operation

@@ -18,7 +18,7 @@ cluster interface:
 
 from __future__ import annotations
 
-from typing import Any, Dict, Iterable, List, Optional, Tuple
+from typing import Any, Dict, List, Optional, Tuple
 
 from repro.common import OperationId
 from repro.datatypes.directory import DirectoryType

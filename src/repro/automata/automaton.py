@@ -24,8 +24,8 @@ from __future__ import annotations
 
 import copy
 import random
-from dataclasses import dataclass, field
-from typing import Any, Dict, FrozenSet, Iterable, List, Mapping, Optional
+from dataclasses import dataclass
+from typing import Any, Dict, FrozenSet, Iterable, List, Mapping
 
 from repro.common import SpecificationError
 

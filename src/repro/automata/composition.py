@@ -14,7 +14,7 @@ longer appear in traces (used for the send/receive actions of ESDS-Alg).
 from __future__ import annotations
 
 import random
-from typing import Any, Dict, FrozenSet, Iterable, List, Mapping, Sequence
+from typing import Any, FrozenSet, Iterable, List, Mapping, Sequence
 
 from repro.automata.automaton import Action, IOAutomaton, Signature, check_compatible
 from repro.common import SpecificationError

@@ -24,7 +24,7 @@ checks over explored executions.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Callable, Iterable, List, Mapping, Optional, Sequence
+from typing import Any, Callable, Iterable, List, Mapping, Optional
 
 from repro.automata.automaton import Action, IOAutomaton
 from repro.common import SimulationRelationError

@@ -12,7 +12,7 @@ per-operation service time, and completed operations are recorded in a
 from __future__ import annotations
 
 import random
-from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Any, Dict, Iterable, Optional, Sequence, Tuple
 
 from repro.common import ConfigurationError, OperationId, OperationIdGenerator
 from repro.core.operations import OperationDescriptor, make_operation

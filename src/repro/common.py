@@ -45,6 +45,23 @@ class MetricsError(EsdsError):
     (e.g. the mean latency of a run in which nothing completed)."""
 
 
+class StaleValueError(EsdsError):
+    """A retransmitted operation can never be answered: its response value
+    was compacted and then aged out of every replica's retained-value ledger
+    (finite ``CompactionPolicy.value_retention``).  Surfaced by the service
+    layer once every replica has NACKed the retransmit."""
+
+
+def ensure_not_stale(failed, op_id) -> None:
+    """Raise :class:`StaleValueError` when *op_id* is in a frontend's map of
+    failed operations — the shared guard of every ``value_of`` facade."""
+    if op_id in failed:
+        raise StaleValueError(
+            f"value of {op_id} aged out of every replica's ledger "
+            f"({failed[op_id]})"
+        )
+
+
 @dataclass(frozen=True, order=True)
 class OperationId:
     """Globally unique operation identifier.

@@ -28,7 +28,7 @@ from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
 from repro.algorithm.checkpoint import CompactionPolicy
 from repro.algorithm.system import AlgorithmSystem, ReplicaFactory
-from repro.common import OperationId
+from repro.common import OperationId, ensure_not_stale
 from repro.core.operations import OperationDescriptor
 from repro.datatypes.base import Operator, SerialDataType
 from repro.service.keyed import KeyedStore
@@ -57,6 +57,12 @@ class ShardedFrontend:
         :class:`CompactionPolicy` applied everywhere, or a mapping from
         shard id to policy (shards absent from the mapping run uncompacted).
         Bounds each shard's tracked replica state by its unstable suffix.
+    advert_gossip / checkpoint_chunk:
+        Advert/pull checkpoint gossip, forwarded to every shard: gossip
+        carries a compact checkpoint advert instead of the body, and behind
+        replicas pull the body on demand (in ``checkpoint_chunk``-value
+        transfer chunks).  Bounds each shard's steady-state gossip payload
+        the way ``compaction`` bounds its memory.
     """
 
     def __init__(
@@ -72,6 +78,8 @@ class ShardedFrontend:
         incremental_replay: bool = False,
         virtual_nodes: int = 64,
         compaction: Union[None, CompactionPolicy, Mapping[str, CompactionPolicy]] = None,
+        advert_gossip: bool = False,
+        checkpoint_chunk: Optional[int] = None,
     ) -> None:
         self.base_type = base_type
         self.store_type = KeyedStore(base_type)
@@ -94,6 +102,8 @@ class ShardedFrontend:
                 full_state_interval=full_state_interval,
                 incremental_replay=incremental_replay,
                 compaction=policy_for(shard),
+                advert_gossip=advert_gossip,
+                checkpoint_chunk=checkpoint_chunk,
             )
             for shard in self.shard_ids
         }
@@ -170,16 +180,32 @@ class ShardedFrontend:
             merged.update(system.users.responded)
         return merged
 
+    @property
+    def failed(self) -> Dict[OperationId, str]:
+        """Operations declared unanswerable — every replica of their shard
+        NACKed the retransmit because the compacted response value aged out
+        of its retained-value ledger (finite ``value_retention``).  The
+        explicit failure signal replaces silently-never-answering."""
+        merged: Dict[OperationId, str] = {}
+        for system in self.systems.values():
+            for frontend in system.frontends.values():
+                merged.update(frontend.failed)
+        return merged
+
     def value_of(self, operation: OperationDescriptor) -> Any:
-        """The value returned for *operation* (KeyError when unanswered)."""
+        """The value returned for *operation* (KeyError when unanswered,
+        :class:`~repro.common.StaleValueError` when it failed for good)."""
         shard = self.directory.shard_of_operation(operation.id)
-        return self.systems[shard].users.responded[operation.id]
+        system = self.systems[shard]
+        ensure_not_stale(system.frontends[operation.id.client].failed, operation.id)
+        return system.users.responded[operation.id]
 
     def outstanding_operations(self) -> int:
-        """Requested operations not yet answered, across all shards."""
+        """Requested operations neither answered nor failed, across shards."""
         total = 0
         for system in self.systems.values():
-            total += len(system.users.requested) - len(system.users.responded)
+            failed = sum(len(fe.failed) for fe in system.frontends.values())
+            total += len(system.users.requested) - len(system.users.responded) - failed
         return total
 
     def eventual_orders(self) -> Dict[str, List[OperationId]]:

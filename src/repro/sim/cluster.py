@@ -20,7 +20,7 @@ The cluster exposes two usage styles:
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 from repro.algorithm.checkpoint import CompactionLedger, CompactionPolicy
@@ -28,7 +28,13 @@ from repro.algorithm.frontend import FrontEndCore
 from repro.algorithm.labels import label_min, label_sort_key
 from repro.algorithm.messages import GossipMessage, RequestMessage, ResponseMessage
 from repro.algorithm.replica import ReplicaCore
-from repro.common import INFINITY, ConfigurationError, OperationId, OperationIdGenerator
+from repro.common import (
+    INFINITY,
+    ConfigurationError,
+    OperationId,
+    OperationIdGenerator,
+    ensure_not_stale,
+)
 from repro.core.operations import OperationDescriptor, make_operation
 from repro.datatypes.base import Operator, SerialDataType
 from repro.sim.events import Simulator
@@ -117,6 +123,15 @@ class SimulationParams:
     #: checkpoint and drop the per-operation records — responses are
     #: unchanged, tracked state stays bounded by the unstable suffix.
     compaction: Optional[CompactionPolicy] = None
+    #: Advert/pull checkpoint gossip: full-state (and frontier-advancing
+    #: delta) messages carry a compact advert instead of the checkpoint
+    #: body; a replica behind the advertised frontier pulls the body on
+    #: demand.  Steady-state gossip payload becomes independent of the
+    #: history length (benchmark E11).
+    advert_gossip: bool = False
+    #: With advert gossip, the maximum retained values per checkpoint
+    #: transfer chunk (``None`` = one transfer message).
+    checkpoint_chunk: Optional[int] = None
     #: With compaction enabled, additionally force a compaction sweep on
     #: every replica at this simulated-time interval (ignoring the policy's
     #: ``min_batch`` amortization gate).  ``None`` leaves compaction purely
@@ -137,6 +152,8 @@ class SimulationParams:
                 raise ConfigurationError("compaction_interval requires a compaction policy")
             if self.compaction_interval <= 0:
                 raise ConfigurationError("compaction_interval must be positive")
+        if self.checkpoint_chunk is not None and self.checkpoint_chunk < 1:
+            raise ConfigurationError("checkpoint_chunk must be at least 1 or None")
 
 
 class SimulatedCluster:
@@ -188,10 +205,12 @@ class SimulatedCluster:
                 core.enable_incremental_replay()
             if self.params.compaction is not None:
                 core.configure_compaction(self.params.compaction)
+            if self.params.advert_gossip:
+                core.configure_advert_gossip(True, self.params.checkpoint_chunk)
             core.on_compact = self._compaction_recorder(rid)
         self.client_ids: Tuple[str, ...] = tuple(client_ids)
         self.frontends: Dict[str, FrontEndCore] = {
-            cid: FrontEndCore(cid) for cid in self.client_ids
+            cid: FrontEndCore(cid, self.replica_ids) for cid in self.client_ids
         }
         self.id_generators: Dict[str, OperationIdGenerator] = {
             cid: OperationIdGenerator(cid) for cid in self.client_ids
@@ -201,6 +220,9 @@ class SimulatedCluster:
         self.trace = TraceRecord()
         #: Values delivered to clients, by operation identifier.
         self.responded: Dict[OperationId, Any] = {}
+        #: Operations declared unanswerable (stale-value NACK from every
+        #: replica), with the failure reason.
+        self.failed: Dict[OperationId, str] = {}
         self.requested: Dict[OperationId, OperationDescriptor] = {}
 
         self._crashed: Set[str] = set()
@@ -392,7 +414,10 @@ class SimulatedCluster:
         return operation, self.responded[operation.id]
 
     def value_of(self, operation: OperationDescriptor) -> Any:
-        """The value returned to the client for *operation* (KeyError if none)."""
+        """The value returned to the client for *operation* (KeyError if
+        unanswered, :class:`~repro.common.StaleValueError` if every replica
+        NACKed the retransmit because its value aged out)."""
+        ensure_not_stale(self.failed, operation.id)
         return self.responded[operation.id]
 
     # ===================================================================== #
@@ -432,11 +457,25 @@ class SimulatedCluster:
 
     def _retransmit(self, operation: OperationDescriptor) -> None:
         """Re-send the request for a still-unanswered operation (Fig. 6 allows
-        the front end to send a pending request repeatedly)."""
-        if operation.id in self.responded:
+        the front end to send a pending request repeatedly).
+
+        A stale-value NACK doubles as a redirect signal: once some replica
+        has NACKed, retransmits go to the replicas that have *not* NACKed
+        yet — under sticky routing (the default ``affinity`` policy) the
+        primary would otherwise be retried forever and the all-replicas
+        failure verdict could never accumulate.  A failed operation (NACK
+        from every replica) stops retransmitting: no replica can ever
+        answer it anew."""
+        if operation.id in self.responded or operation.id in self.failed:
             return
         client = operation.id.client
-        for rid in self._choose_replicas(client):
+        targets = self._choose_replicas(client)
+        nacked = self.frontends[client].nacked.get(operation.id, ())
+        if nacked:
+            alive = [rid for rid in self.replica_ids if rid not in self._crashed]
+            remaining = [rid for rid in alive if rid not in nacked]
+            targets = remaining or targets
+        for rid in targets:
             self._send_request(client, rid, operation)
         self.simulator.schedule(
             self.params.retransmit_interval, lambda: self._retransmit(operation)
@@ -466,27 +505,45 @@ class SimulatedCluster:
             return
         core = self.replicas[replica]
         core.receive_request(message)
+        for operation in core.take_stale_nacks():
+            self._send_response_message(
+                replica,
+                ResponseMessage(operation=operation, value=None, stale=True, sender=replica),
+            )
         core.do_all_ready()
         self._try_respond(replica)
 
     def _try_respond(self, replica: str) -> None:
         core = self.replicas[replica]
         for operation in core.ready_responses():
-            message = core.make_response(operation)
-            client = operation.id.client
-            if self.network.should_drop("response", replica, client):
-                continue
-            self.network.record_sent("response")
-            delay = self.network.delay_for("response", self.simulator.now)
-            self.simulator.schedule(delay, lambda m=message, c=client: self._deliver_response(c, m))
+            self._send_response_message(replica, core.make_response(operation))
+
+    def _send_response_message(self, replica: str, message: ResponseMessage) -> None:
+        client = message.operation.id.client
+        if self.network.should_drop("response", replica, client):
+            return
+        self.network.record_sent("response")
+        delay = self.network.delay_for("response", self.simulator.now)
+        self.simulator.schedule(delay, lambda: self._deliver_response(client, message))
 
     def _deliver_response(self, client: str, message: ResponseMessage) -> None:
         frontend = self.frontends[client]
         if not frontend.receive_response(message):
+            # A stale-response NACK may have just tipped the operation into
+            # permanent failure (every replica's retained value aged out):
+            # surface it and stop counting the operation as outstanding, or
+            # run_until_idle would wait for an answer that can never come.
+            op_id = message.operation.id
+            if message.stale and op_id in frontend.failed and op_id not in self.failed:
+                self.failed[op_id] = frontend.failed[op_id]
+                self._unanswered.discard(op_id)
             return
         value = frontend.respond(message.operation)
         self.responded[message.operation.id] = value
         self._unanswered.discard(message.operation.id)
+        # A late genuine value resurrects a prematurely failed operation
+        # (the response outran the NACKs on the unordered network).
+        self.failed.pop(message.operation.id, None)
         self.metrics.record_response(message.operation, value, self.simulator.now)
         self.trace.record_response(message.operation, value)
 
@@ -570,6 +627,8 @@ class SimulatedCluster:
         core = self.replicas[destination]
         for message in batch:
             core.receive_gossip(message)
+        for pull in core.take_pending_pulls():
+            self._send_pull(destination, pull)
         core.do_all_ready()
         self._try_respond(destination)
         if self.params.track_stabilization:
@@ -577,6 +636,45 @@ class SimulatedCluster:
 
     def _process_gossip(self, destination: str, message: GossipMessage) -> None:
         self._process_gossip_batch(destination, [message])
+
+    # -- advert/pull checkpoint catch-up -----------------------------------------
+
+    def _send_pull(self, source: str, message) -> None:
+        """Send a pull request over the gossip fabric (same delay bound
+        ``dg``, same loss policy; a dropped pull is retried off the next
+        advert that still shows the requester behind)."""
+        if self.network.should_drop("pull", source, message.target):
+            return
+        self.network.record_sent("pull")
+        delay = self.network.delay_for("pull", self.simulator.now)
+        self.simulator.schedule(delay, lambda: self._deliver_pull(message.target, message))
+
+    def _deliver_pull(self, replica: str, message) -> None:
+        if replica in self._crashed:
+            return
+        for transfer in self.replicas[replica].receive_pull_request(message):
+            self._send_transfer(replica, transfer)
+
+    def _send_transfer(self, source: str, message) -> None:
+        if self.network.should_drop("transfer", source, message.requester):
+            return
+        self.network.record_sent("transfer", payload_size=message.size_estimate())
+        delay = self.network.delay_for("transfer", self.simulator.now)
+        self.simulator.schedule(
+            delay, lambda: self._deliver_transfer(message.requester, message)
+        )
+
+    def _deliver_transfer(self, replica: str, message) -> None:
+        if replica in self._crashed:
+            return
+        core = self.replicas[replica]
+        core.receive_transfer(message)
+        # A completed transfer can unblock do_it chains (prev chains through
+        # the adopted prefix) and pending responses.
+        core.do_all_ready()
+        self._try_respond(replica)
+        if self.params.track_stabilization:
+            self._update_stabilization()
 
     def _update_stabilization(self) -> None:
         if not self._unstable:

@@ -10,7 +10,7 @@ exactly those disturbances into a :class:`~repro.sim.cluster.SimulatedCluster`.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence
+from typing import List, Optional
 
 from repro.sim.cluster import SimulatedCluster
 

@@ -10,8 +10,8 @@ recovery experiment E4).
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Set, Tuple
+from dataclasses import dataclass
+from typing import Set
 
 
 @dataclass
@@ -42,16 +42,22 @@ class NetworkModel:
 
 @dataclass
 class MessageCounters:
-    """Per-category message accounting for the overhead experiment (E8)."""
+    """Per-category message accounting for the overhead experiments
+    (E8/E11).  ``pull`` / ``transfer`` count the advert/pull catch-up
+    control plane; ``transfer_payload`` accumulates the checkpoint-body
+    bytes actually shipped on demand (zero in steady state)."""
 
     request: int = 0
     response: int = 0
     gossip: int = 0
+    pull: int = 0
+    transfer: int = 0
     dropped: int = 0
     gossip_payload: int = 0
+    transfer_payload: int = 0
 
     def total(self) -> int:
-        return self.request + self.response + self.gossip
+        return self.request + self.response + self.gossip + self.pull + self.transfer
 
 
 class SimulatedNetwork:
@@ -114,5 +120,10 @@ class SimulatedNetwork:
         elif kind == "gossip":
             self.counters.gossip += 1
             self.counters.gossip_payload += payload_size
+        elif kind == "pull":
+            self.counters.pull += 1
+        elif kind == "transfer":
+            self.counters.transfer += 1
+            self.counters.transfer_payload += payload_size
         else:  # pragma: no cover - defensive
             raise ValueError(f"unknown message kind {kind!r}")

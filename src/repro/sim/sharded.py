@@ -26,7 +26,7 @@ import random
 from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple, Union
 
 from repro.algorithm.checkpoint import CompactionPolicy
-from repro.common import ConfigurationError, OperationId
+from repro.common import ConfigurationError, OperationId, ensure_not_stale
 from repro.core.operations import OperationDescriptor
 from repro.datatypes.base import Operator, SerialDataType
 from repro.service.keyed import KeyedStore
@@ -243,10 +243,22 @@ class ShardedCluster:
             merged.update(shard.responded)
         return merged
 
+    @property
+    def failed(self) -> Dict[OperationId, str]:
+        """Operations declared unanswerable (stale-value NACK from every
+        replica of their shard), across all shards."""
+        merged: Dict[OperationId, str] = {}
+        for shard in self.shards.values():
+            merged.update(shard.failed)
+        return merged
+
     def value_of(self, operation: OperationDescriptor) -> Any:
-        """The value returned for *operation* (KeyError when unanswered)."""
+        """The value returned for *operation* (KeyError when unanswered,
+        :class:`~repro.common.StaleValueError` when it failed for good)."""
         shard = self.directory.shard_of_operation(operation.id)
-        return self.shards[shard].responded[operation.id]
+        cluster = self.shards[shard]
+        ensure_not_stale(cluster.failed, operation.id)
+        return cluster.responded[operation.id]
 
     # ===================================================================== #
     # Metrics and verification views                                        #

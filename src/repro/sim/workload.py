@@ -20,12 +20,12 @@ from __future__ import annotations
 import bisect
 import itertools
 import random
-from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.common import MetricsError, OperationId
 from repro.core.operations import OperationDescriptor
-from repro.datatypes.base import Operator, SerialDataType
+from repro.datatypes.base import Operator
 from repro.sim.cluster import SimulatedCluster
 from repro.sim.metrics import LatencySummary, MetricsCollector, PerShardMetrics
 from repro.sim.sharded import ShardedCluster

@@ -20,11 +20,11 @@ linear-extension search (suitable for the small traces used in tests).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, Iterable, List, Optional, Sequence, Set, Tuple
+from typing import Any, List, Optional, Sequence, Set, Tuple
 
 from repro.common import OperationId
 from repro.core.operations import OperationDescriptor, client_specified_constraints
-from repro.core.orders import PartialOrder, linear_extensions, val
+from repro.core.orders import linear_extensions, val
 from repro.datatypes.base import SerialDataType
 
 

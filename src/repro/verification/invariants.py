@@ -28,15 +28,25 @@ are then evaluated against the **checkpoint + suffix** view:
   against the ledger by :meth:`invariant_checkpoint_compaction` (nestedness,
   frontier below every tracked label, base state = prefix replay, retained
   values = replay values).
+
+Under **advert/pull** gossip the gossip channels additionally carry pull
+requests and checkpoint-transfer chunks.  Those are not ``(R, D, L, S)``
+messages: the per-message Section 7 checks apply only to ``kind ==
+"gossip"`` traffic, while :meth:`invariant_advert_pull_messages` checks the
+catch-up protocol's own structural claims (an advertised or transferred
+frontier never ahead of the sender's, transferred content nested within the
+agreed ledger prefix).  An advert is treated as *knowledge* only once the
+pull it triggers completes — the effective-view evaluation of in-transit
+messages therefore ignores adverts, matching what receiving one actually
+does to a caught-up replica (nothing beyond stability marking).
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Set, Tuple
+from typing import List, Set
 
 from repro.algorithm.labels import label_sort_key
 from repro.algorithm.memoized import MemoizedReplicaCore
-from repro.algorithm.replica import ReplicaCore
 from repro.algorithm.system import AlgorithmSystem
 from repro.common import INFINITY, InvariantViolation, OperationId
 from repro.core.operations import client_specified_constraints
@@ -67,6 +77,13 @@ class AlgorithmInvariantChecker:
     def _is_compacted(self, replica_id: str, op_id: OperationId) -> bool:
         return self.system.replicas[replica_id].checkpoint.covers(op_id)
 
+    @staticmethod
+    def _gossip_messages(channel):
+        """The ``(R, D, L, S)`` messages in transit on *channel* — pull and
+        checkpoint-transfer traffic shares the gossip channels but has its
+        own structural check (:meth:`invariant_advert_pull_messages`)."""
+        return [m for m in channel.contents() if m.kind == "gossip"]
+
     # -- entry points ----------------------------------------------------------
 
     def check_all(self) -> None:
@@ -93,6 +110,7 @@ class AlgorithmInvariantChecker:
         self.invariant_8_3_stable_ordered_by_minlabel()
         self.invariant_10_memoized_replicas()
         self.invariant_checkpoint_compaction()
+        self.invariant_advert_pull_messages()
 
     def __call__(self, *_args, **_kwargs) -> None:
         """Allow use as a step hook."""
@@ -139,7 +157,7 @@ class AlgorithmInvariantChecker:
         for (src, dst), channel in self.system.gossip_channels.items():
             sender = self.system.replicas[src]
             compacted = self._compacted(src)
-            for message in channel.contents():
+            for message in self._gossip_messages(channel):
                 if not message.effective_received() <= sender.rcvd | compacted:
                     _fail("Invariant 7.3", f"gossip {src}->{dst}: R not within rcvd_{src}")
                 if not message.effective_done() <= sender.done_here() | compacted:
@@ -158,10 +176,11 @@ class AlgorithmInvariantChecker:
                             "Invariant 7.3",
                             f"gossip {src}->{dst}: message label for {op_id} below sender's",
                         )
-                if message.checkpoint is not None and message.checkpoint.count:
+                coverage = message.coverage()
+                if coverage is not None and coverage.count:
                     frontier = sender.checkpoint.frontier
                     if frontier is None or label_sort_key(
-                        message.checkpoint.frontier
+                        coverage.frontier
                     ) > label_sort_key(frontier):
                         _fail(
                             "Invariant 7.3",
@@ -188,7 +207,7 @@ class AlgorithmInvariantChecker:
                     f"replica {r}: labelled ids {len(labelled_ids)} != done ids {len(done_ids)}",
                 )
         for (src, dst), channel in self.system.gossip_channels.items():
-            for message in channel.contents():
+            for message in self._gossip_messages(channel):
                 if {x.id for x in message.effective_done()} != set(message.effective_labels()):
                     _fail("Invariant 7.5", f"gossip {src}->{dst}: D.id != labelled ids")
 
@@ -248,18 +267,23 @@ class AlgorithmInvariantChecker:
                         f"replica {r}: label({before}) > label({after}) despite prev constraint",
                     )
         for (src, dst), channel in self.system.gossip_channels.items():
-            for message in channel.contents():
-                checkpoint = message.effective_checkpoint()
+            for message in self._gossip_messages(channel):
+                # Coverage = the attached checkpoint body or advert (both
+                # are structural assertions by the sender about its frozen
+                # prefix), falling back to a delta's acknowledged basis.
+                coverage = message.coverage()
+                if coverage is None:
+                    coverage = message.effective_checkpoint()
                 for before, after in csc:
-                    if checkpoint is not None and checkpoint.covers(after):
-                        if not checkpoint.covers(before):
+                    if coverage is not None and coverage.covers(after):
+                        if not coverage.covers(before):
                             _fail(
                                 "Invariant 7.10",
                                 f"gossip {src}->{dst}: checkpoint covers {after} "
                                 f"but not its prev {before}",
                             )
                         continue
-                    if checkpoint is not None and checkpoint.covers(before):
+                    if coverage is not None and coverage.covers(before):
                         continue
                     if label_sort_key(message.label_of(before)) > label_sort_key(message.label_of(after)):
                         _fail(
@@ -321,7 +345,7 @@ class AlgorithmInvariantChecker:
                                 f"held elsewhere",
                             )
             for (_src, _dst), channel in self.system.gossip_channels.items():
-                for message in channel.contents():
+                for message in self._gossip_messages(channel):
                     for op_id, label in message.effective_labels().items():
                         if label.replica == r and not self._is_compacted(r, op_id):
                             if label_sort_key(replica.label_of(op_id)) > label_sort_key(label):
@@ -508,6 +532,56 @@ class AlgorithmInvariantChecker:
                         "Checkpoint",
                         f"replica {r}: retained value for {op_id} diverges from replay",
                     )
+
+
+    # -- advert/pull gossip -------------------------------------------------------
+
+    def invariant_advert_pull_messages(self) -> None:
+        """Structural claims of the advert/pull catch-up protocol (no-op
+        while no pull or transfer traffic is in flight):
+
+        * a transferred checkpoint's frontier is never ahead of its sender's
+          current frontier (the sender answers pulls with its *current*
+          checkpoint, and frontiers only advance);
+        * the transferred identifier summary is exactly a prefix of the
+          system-wide agreed ledger order — the nestedness adoption relies
+          on;
+        * a pull request targets the replica that advertised (routing
+          integrity on the shared gossip channels).
+        """
+        ledger = self.system.compaction_ledger
+        for (src, dst), channel in self.system.gossip_channels.items():
+            for message in channel.contents():
+                if message.kind == "pull":
+                    if message.target != dst or message.requester != src:
+                        _fail(
+                            "Advert/pull",
+                            f"pull on channel {src}->{dst} addressed "
+                            f"{message.requester}->{message.target}",
+                        )
+                elif message.kind == "transfer":
+                    sender = self.system.replicas[src]
+                    frontier = sender.checkpoint.frontier
+                    if frontier is None or label_sort_key(message.frontier) > label_sort_key(
+                        frontier
+                    ):
+                        _fail(
+                            "Advert/pull",
+                            f"transfer {src}->{dst}: frontier ahead of sender's",
+                        )
+                    if message.ids.count > len(ledger.prefix):
+                        _fail(
+                            "Advert/pull",
+                            f"transfer {src}->{dst}: covers {message.ids.count} operations "
+                            f"but the ledger records {len(ledger.prefix)}",
+                        )
+                    for x in ledger.prefix[: message.ids.count]:
+                        if x.id not in message.ids:
+                            _fail(
+                                "Advert/pull",
+                                f"transfer {src}->{dst}: id summary is not the agreed "
+                                f"ledger prefix (missing {x.id})",
+                            )
 
 
 class SpecInvariantChecker:

@@ -1,6 +1,5 @@
 """Tests for the I/O automaton framework (Section 3)."""
 
-import random
 
 import pytest
 

@@ -5,7 +5,7 @@ import pytest
 from repro.baselines.atomic import CentralizedAtomicService
 from repro.baselines.lazy_ladin import LadinLazyReplicationService, MultipartTimestamp
 from repro.baselines.primary_copy import PrimaryCopyService
-from repro.datatypes import CounterType, GSetType, RegisterType
+from repro.datatypes import CounterType, GSetType
 from repro.sim.cluster import SimulatedCluster, SimulationParams
 from repro.sim.workload import WorkloadSpec, run_workload
 from repro.spec.guarantees import check_atomicity_when_all_strict

@@ -6,7 +6,7 @@ import pytest
 
 from repro.algorithm.channel import Channel, LossyChannel
 from repro.algorithm.frontend import FrontEndCore
-from repro.algorithm.messages import RequestMessage, ResponseMessage
+from repro.algorithm.messages import ResponseMessage
 from repro.common import OperationIdGenerator, SpecificationError
 from repro.core.operations import make_operation
 from repro.datatypes import CounterType

@@ -22,7 +22,6 @@ import pytest
 
 from repro.algorithm.checkpoint import (
     Checkpoint,
-    CompactionLedger,
     CompactionPolicy,
     OpIdSummary,
 )

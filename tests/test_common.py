@@ -1,7 +1,5 @@
 """Tests for repro.common: identifiers, generators and the infinity label."""
 
-import pytest
-
 from repro.common import (
     INFINITY,
     Infinity,

@@ -1,7 +1,5 @@
 """Tests for the label space and per-replica label generation (§6.3)."""
 
-import pytest
-
 from repro.algorithm.labels import Label, LabelGenerator, label_min, label_sort_key
 from repro.common import INFINITY
 

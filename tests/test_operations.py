@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.common import OperationId, OperationIdGenerator
+from repro.common import OperationIdGenerator
 from repro.core.operations import (
     OperationDescriptor,
     client_specified_constraints,

@@ -17,13 +17,20 @@ simulator, and then checks the two correctness oracles on the outcome:
 Every scenario runs under both full-state and delta gossip — the PR 1
 equivalence argument says the observable guarantees are identical, and this
 suite is the randomized regression net enforcing it.  A smaller batch of
-scenarios exercises the sharded service layer with per-shard faults, and
-another re-runs the corpus seeds with *aggressive* checkpoint compaction
-(fold every stable operation immediately) — the bounded-memory mechanism
-must preserve exactly the same guarantees.
+scenarios exercises the sharded service layer with per-shard faults; another
+re-runs the corpus seeds with *aggressive* checkpoint compaction (fold every
+stable operation immediately) — the bounded-memory mechanism must preserve
+exactly the same guarantees — and a further batch forces **advert/pull**
+gossip on top of that, so the pull-based catch-up plane is exercised under
+random crashes, loss and delay spikes.
+
+The corpus size is ``FUZZ_SEEDS`` seeds per mode (default 20); the nightly
+CI job widens it via the ``FUZZ_SEEDS`` environment variable to cover
+long-tail interleavings without slowing PR builds.
 """
 
 import dataclasses
+import os
 import random
 
 import pytest
@@ -37,7 +44,7 @@ from repro.sim.workload import KeyedWorkloadSpec, WorkloadSpec, run_keyed_worklo
 from repro.verification.invariants import AlgorithmInvariantChecker
 from repro.verification.serializability import check_recorded_trace
 
-FUZZ_SEEDS = list(range(20))
+FUZZ_SEEDS = list(range(int(os.environ.get("FUZZ_SEEDS", "20"))))
 
 #: Filled in by the parametrized scenarios: (seed, delta_gossip) -> whether
 #: any operation was lost to a volatile crash; consumed by the corpus check.
@@ -248,8 +255,12 @@ def test_fuzz_corpus_is_mostly_loss_free():
     assert lossy <= len(FUZZ_SEEDS) * 2 // 4, f"{lossy} of {len(_LOSSINESS)} scenarios lossy"
 
 
+#: The compaction-focused batches re-run half the corpus (at least 10 seeds).
+COMPACTION_SEEDS = FUZZ_SEEDS[: max(10, len(FUZZ_SEEDS) // 2)]
+
+
 @pytest.mark.parametrize("delta_gossip", [False, True], ids=["full", "delta"])
-@pytest.mark.parametrize("seed", FUZZ_SEEDS[:10])
+@pytest.mark.parametrize("seed", COMPACTION_SEEDS)
 def test_random_scenarios_with_aggressive_compaction(seed, delta_gossip):
     """The corpus seeds re-run with the most aggressive compaction settings
     (fold every stable operation immediately, plus a forced interval sweep):
@@ -297,6 +308,51 @@ def test_random_scenarios_with_aggressive_compaction(seed, delta_gossip):
     # benchmark E10's job; these workloads are too small for it to bite.)
     residual = max(replica.tracked_op_count() for replica in cluster.replicas.values())
     assert residual < len(cluster.requested), "no replica ever dropped any record"
+
+
+@pytest.mark.parametrize("delta_gossip", [False, True], ids=["full", "delta"])
+@pytest.mark.parametrize("seed", COMPACTION_SEEDS)
+def test_random_scenarios_with_advert_pull_gossip(seed, delta_gossip):
+    """The corpus seeds re-run with advert/pull gossip forced on (plus the
+    aggressive compaction that makes adverts non-trivial): full-state
+    messages now carry adverts instead of checkpoint bodies, and any replica
+    wiped by a volatile crash must catch up through the pull/transfer plane
+    under the same random faults.  All oracles must hold unchanged."""
+    rng = random.Random(seed * 2 + (1 if delta_gossip else 0))
+    type_factory, operator_factory = rng.choice(DATA_TYPES)
+    params = dataclasses.replace(
+        random_params(rng, delta_gossip),
+        compaction=CompactionPolicy(min_batch=1),
+        compaction_interval=1.0,
+        advert_gossip=True,
+        checkpoint_chunk=rng.choice([None, 2, 5]),
+    )
+    num_replicas = rng.randint(2, 4)
+    clients = [f"c{i}" for i in range(rng.randint(1, 3))]
+    cluster = SimulatedCluster(
+        type_factory(), num_replicas, clients, params=params, seed=seed * 31 + 7
+    )
+
+    spec = random_workload(rng, operator_factory)
+    horizon = spec.operations_per_client * spec.mean_interarrival
+    faults = random_faults(rng, list(cluster.replica_ids), horizon)
+    faults.install(cluster)
+
+    result = run_workload(cluster, spec, seed=seed + 1000, drain_time=600.0)
+    remaining = faults.last_fault_time() - cluster.now
+    if remaining > 0:
+        cluster.run(remaining + params.gossip_period)
+    cluster.run_until_idle(max_time=600.0)
+
+    assert result.submitted == spec.operations_per_client * len(clients)
+    check_scenario_outcome(cluster)
+    # Advert mode must really be live: eager checkpoint bodies never ride on
+    # gossip; any catch-up went through the pull/transfer plane.
+    for replica in cluster.replicas.values():
+        message = replica.make_gossip()
+        assert message.checkpoint is None
+        if replica.checkpoint.count:
+            assert message.advert is not None
 
 
 @pytest.mark.parametrize("delta_gossip", [False, True], ids=["full", "delta"])

@@ -4,7 +4,7 @@ workload generators (the simulated-time half of the service layer)."""
 import pytest
 
 from repro.common import ConfigurationError, MetricsError, OperationId
-from repro.datatypes import CounterType, RegisterType
+from repro.datatypes import CounterType
 from repro.sim.cluster import SimulationParams
 from repro.sim.metrics import PerShardMetrics
 from repro.sim.sharded import ShardedCluster

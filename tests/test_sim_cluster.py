@@ -12,7 +12,6 @@ from repro.common import ConfigurationError
 from repro.datatypes import BankAccountType, CounterType, RegisterType
 from repro.sim.cluster import SimulatedCluster, SimulationParams
 from repro.sim.workload import WorkloadSpec, run_workload
-from repro.spec.guarantees import check_strict_responses_explained
 from repro.verification.serializability import check_recorded_trace
 
 PARAMS = SimulationParams(df=1.0, dg=1.0, gossip_period=2.0)

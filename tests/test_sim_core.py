@@ -10,7 +10,7 @@ from repro.core.operations import make_operation
 from repro.datatypes import CounterType
 from repro.sim.events import EventQueue, Simulator
 from repro.sim.metrics import LatencyRecord, LatencySummary, MetricsCollector, classify_operation
-from repro.sim.network import MessageCounters, NetworkModel, SimulatedNetwork
+from repro.sim.network import NetworkModel, SimulatedNetwork
 
 
 class TestEventQueue:

@@ -1,6 +1,5 @@
 """Tests for the ESDS-I / ESDS-II specification automata (Section 5)."""
 
-import random
 
 import pytest
 
