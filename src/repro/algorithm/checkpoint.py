@@ -317,22 +317,29 @@ class Checkpoint:
 
     @cached_property
     def _digest(self) -> str:
+        # Retained values are hashed content-and-all (sorted by id, so the
+        # digest is independent of insertion order): a transfer receiver
+        # recomputes this over the assembled body, so any bit of a value or
+        # of the base state flipped in flight changes the digest.
         material = repr((
             self.frontier,
             sorted(self.ids.ranges.items()),
             self.count,
             repr(self.base_state),
-            tuple(repr(op_id) for op_id in self.values),
+            tuple(
+                (repr(op_id), repr(self.values[op_id])) for op_id in sorted(self.values)
+            ),
         ))
         return hashlib.sha256(material.encode("utf-8")).hexdigest()[:16]
 
     def digest(self) -> str:
         """A content digest identifying this exact checkpoint (frontier, id
-        summary, base state and retained-value ids).  Adverts carry it so a
-        puller can match transfer chunks against the advertised content, and
-        so concurrent compaction at the sender is detectable (the transfer
-        then arrives under a *newer* digest, which is still acceptable — a
-        larger checkpoint is nested over the advertised one)."""
+        summary, base state and retained values, contents included).  Adverts
+        carry it so a puller can match transfer chunks against the advertised
+        content and reject bodies corrupted in flight, and so concurrent
+        compaction at the sender is detectable (the transfer then arrives
+        under a *newer* digest, which is still acceptable — a larger
+        checkpoint is nested over the advertised one)."""
         return self._digest
 
     @cached_property

@@ -120,6 +120,10 @@ class ReplicaStats:
     compacted_operations: int = 0
     #: Operator applications spent folding operations into the checkpoint.
     compaction_applications: int = 0
+    #: Assembled checkpoint transfers discarded because their recomputed
+    #: content digest did not match the one the chunks were sent under
+    #: (corruption in flight); each rejection is healed by a later re-pull.
+    transfer_rejections: int = 0
 
     def total_applications(self) -> int:
         return self.value_applications + self.memoized_applications
@@ -1068,7 +1072,16 @@ class ReplicaCore:
         if not assembly.complete():
             return
         del self._transfer_in[message.sender]
-        self._merge_checkpoint(assembly.assemble())
+        assembled = assembly.assemble()
+        if assembled.digest() != assembly.digest:
+            # The body was corrupted in flight: the chunks were sent under
+            # the sender's content digest, and the checkpoint reassembled
+            # from them no longer hashes to it.  Discard the assembly — we
+            # are still behind, so the next advert showing this (or any)
+            # peer ahead re-queues the pull and the transfer is retried.
+            self.stats.transfer_rejections += 1
+            return
+        self._merge_checkpoint(assembled)
         self._post_merge()
 
     def _merge_checkpoint(self, incoming: Checkpoint) -> None:

@@ -1,0 +1,82 @@
+"""Conformance vectors: serialized scenarios + expected outcomes.
+
+The scenario fuzzer explores executions and throws them away; this package
+freezes a reviewed corpus of them as versioned, canonically-encoded JSON
+vectors (``tests/vectors/``) that any harness — the discrete-event
+simulator, the sharded service layer, a future asyncio runtime or non-Python
+port — can replay and be held to, following the consensus-spec
+test-generator model.
+
+* :mod:`repro.conformance.codec` — canonical tagged-JSON value encoding,
+  format versioning, sha-256 content digests.
+* :mod:`repro.conformance.scenario` — the serializable scenario spec and
+  the run/collect machinery.
+* :mod:`repro.conformance.oracles` — the shared outcome oracles (casualty
+  classification, quiescence, Theorem 5.8 witness, invariant sweep).
+* :mod:`repro.conformance.generate` — the corpus generator CLI
+  (``python -m repro.conformance.generate``).
+* :mod:`repro.conformance.replay` — the replayer CLI
+  (``python -m repro.conformance.replay``).
+"""
+
+from repro.conformance.codec import (
+    FORMAT_VERSION,
+    VECTOR_KIND,
+    ConformanceError,
+    content_digest,
+    decode_value,
+    dumps_vector,
+    encode_value,
+    loads_vector,
+    seal,
+    state_digest,
+    verify_sealed,
+)
+from repro.conformance.oracles import (
+    check_cluster_outcome,
+    classify_casualties,
+    quiesce,
+    witness_order,
+)
+from repro.conformance.scenario import (
+    DATA_TYPE_NAMES,
+    DATA_TYPES,
+    UNSHARDED,
+    ScenarioOutcome,
+    ScenarioRun,
+    ScenarioSpec,
+    build_scenario,
+    collect_info,
+    collect_outcome,
+    compare_outcomes,
+    run_scenario,
+)
+
+__all__ = [
+    "FORMAT_VERSION",
+    "VECTOR_KIND",
+    "ConformanceError",
+    "content_digest",
+    "decode_value",
+    "dumps_vector",
+    "encode_value",
+    "loads_vector",
+    "seal",
+    "state_digest",
+    "verify_sealed",
+    "check_cluster_outcome",
+    "classify_casualties",
+    "quiesce",
+    "witness_order",
+    "DATA_TYPE_NAMES",
+    "DATA_TYPES",
+    "UNSHARDED",
+    "ScenarioOutcome",
+    "ScenarioRun",
+    "ScenarioSpec",
+    "build_scenario",
+    "collect_info",
+    "collect_outcome",
+    "compare_outcomes",
+    "run_scenario",
+]

@@ -44,6 +44,30 @@ from repro.spec.guarantees import TraceRecord
 
 ReplicaFactory = Callable[[str, Sequence[str], SerialDataType], ReplicaCore]
 
+#: Marker wrapped around a transfer payload entry tampered in flight by the
+#: corruption adversary — any repr-visible change would do; a distinct tag
+#: keeps debugging obvious.
+CORRUPTION_MARKER = "__corrupted__"
+
+
+def _tamper_transfer(message):
+    """Flip bytes in one checkpoint-transfer chunk (corruption adversary).
+
+    The tampered copy keeps the original digest field, modelling payload
+    bits flipped in flight while the digest rides along intact: the
+    receiver recomputes the assembled checkpoint's digest and rejects the
+    mismatch.  One retained value is replaced when the chunk carries any;
+    otherwise the base-state blob of the final chunk is tampered.
+    """
+    from dataclasses import replace
+
+    if message.values_chunk:
+        first = next(iter(message.values_chunk))
+        tampered = dict(message.values_chunk)
+        tampered[first] = (CORRUPTION_MARKER, tampered[first])
+        return replace(message, values_chunk=tampered)
+    return replace(message, base_state=(CORRUPTION_MARKER, message.base_state))
+
 
 def drive_until(
     simulator: Simulator,
@@ -486,8 +510,11 @@ class SimulatedCluster:
         if self.network.should_drop("request", client, replica):
             return
         self.network.record_sent("request")
-        delay = self.network.delay_for("request", self.simulator.now)
+        delay = self.network.delay_for("request", self.simulator.now, client, replica)
         self.simulator.schedule(delay, lambda: self._deliver_request(replica, message))
+        dup = self.network.maybe_duplicate("request", self.simulator.now, client, replica)
+        if dup is not None:
+            self.simulator.schedule(dup, lambda: self._deliver_request(replica, message))
 
     def _deliver_request(self, replica: str, message: RequestMessage) -> None:
         if replica in self._crashed:
@@ -523,8 +550,11 @@ class SimulatedCluster:
         if self.network.should_drop("response", replica, client):
             return
         self.network.record_sent("response")
-        delay = self.network.delay_for("response", self.simulator.now)
+        delay = self.network.delay_for("response", self.simulator.now, replica, client)
         self.simulator.schedule(delay, lambda: self._deliver_response(client, message))
+        dup = self.network.maybe_duplicate("response", self.simulator.now, replica, client)
+        if dup is not None:
+            self.simulator.schedule(dup, lambda: self._deliver_response(client, message))
 
     def _deliver_response(self, client: str, message: ResponseMessage) -> None:
         frontend = self.frontends[client]
@@ -573,8 +603,14 @@ class SimulatedCluster:
             return
         message = self.replicas[source].make_gossip(destination)
         self.network.record_sent("gossip", payload_size=message.size_estimate())
-        delay = self.network.delay_for("gossip", self.simulator.now)
+        delay = self.network.delay_for("gossip", self.simulator.now, source, destination)
         self.simulator.schedule(delay, lambda: self._deliver_gossip(destination, message))
+        # A duplicated delivery reuses the *same* message object: building a
+        # second one via make_gossip would consume a fresh delta seqno and
+        # turn channel duplication into distinct stream entries.
+        dup = self.network.maybe_duplicate("gossip", self.simulator.now, source, destination)
+        if dup is not None:
+            self.simulator.schedule(dup, lambda: self._deliver_gossip(destination, message))
 
     def _deliver_gossip(self, destination: str, message: GossipMessage) -> None:
         if destination in self._crashed:
@@ -646,8 +682,11 @@ class SimulatedCluster:
         if self.network.should_drop("pull", source, message.target):
             return
         self.network.record_sent("pull")
-        delay = self.network.delay_for("pull", self.simulator.now)
+        delay = self.network.delay_for("pull", self.simulator.now, source, message.target)
         self.simulator.schedule(delay, lambda: self._deliver_pull(message.target, message))
+        dup = self.network.maybe_duplicate("pull", self.simulator.now, source, message.target)
+        if dup is not None:
+            self.simulator.schedule(dup, lambda: self._deliver_pull(message.target, message))
 
     def _deliver_pull(self, replica: str, message) -> None:
         if replica in self._crashed:
@@ -659,10 +698,21 @@ class SimulatedCluster:
         if self.network.should_drop("transfer", source, message.requester):
             return
         self.network.record_sent("transfer", payload_size=message.size_estimate())
-        delay = self.network.delay_for("transfer", self.simulator.now)
+        if self.network.should_corrupt_transfer(self.simulator.now):
+            message = _tamper_transfer(message)
+        delay = self.network.delay_for(
+            "transfer", self.simulator.now, source, message.requester
+        )
         self.simulator.schedule(
             delay, lambda: self._deliver_transfer(message.requester, message)
         )
+        dup = self.network.maybe_duplicate(
+            "transfer", self.simulator.now, source, message.requester
+        )
+        if dup is not None:
+            self.simulator.schedule(
+                dup, lambda: self._deliver_transfer(message.requester, message)
+            )
 
     def _deliver_transfer(self, replica: str, message) -> None:
         if replica in self._crashed:

@@ -9,8 +9,9 @@ exactly those disturbances into a :class:`~repro.sim.cluster.SimulatedCluster`.
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import Any, Dict, List, Optional
 
 from repro.sim.cluster import SimulatedCluster
 
@@ -85,6 +86,116 @@ class DelaySpike:
 
 
 @dataclass
+class AsymmetricPartition:
+    """Sever the *directed* link ``source -> destination`` during
+    ``[start, end)``: the destination stops hearing the source, while
+    traffic the other way still flows.
+
+    The paper's channels are unidirectional and independently unreliable,
+    so a one-way outage is within the model — safety must hold even when
+    A hears B but B never hears A (gossip knowledge then spreads only
+    through third parties)."""
+
+    source: str
+    destination: str
+    start: float
+    end: float
+
+    def install(self, cluster: SimulatedCluster) -> None:
+        if self.end <= self.start:
+            raise ValueError("partition end must come after its start")
+        cluster.simulator.schedule_at(
+            self.start,
+            lambda: cluster.network.partition_link(self.source, self.destination),
+        )
+        cluster.simulator.schedule_at(
+            self.end, lambda: cluster.network.heal_link(self.source, self.destination)
+        )
+
+    def end_time(self) -> float:
+        return self.end
+
+
+@dataclass
+class StragglerReplica:
+    """Multiply message delays to and from one replica by ``factor`` during
+    ``[start, end)`` — a persistently slow node rather than a global spike.
+
+    Unlike :class:`DelaySpike` this is per-node and ignores the network's
+    ``spike_factor``; the two compose multiplicatively when both are
+    active."""
+
+    replica: str
+    factor: float
+    start: float
+    end: float
+
+    def install(self, cluster: SimulatedCluster) -> None:
+        if self.end <= self.start:
+            raise ValueError("straggler end must come after its start")
+        cluster.simulator.schedule_at(
+            self.start, lambda: cluster.network.set_straggler(self.replica, self.factor)
+        )
+        cluster.simulator.schedule_at(
+            self.end, lambda: cluster.network.clear_straggler(self.replica)
+        )
+
+    def end_time(self) -> float:
+        return self.end
+
+
+@dataclass
+class DuplicateMessages:
+    """Deliver a second copy of each message with ``probability`` during
+    ``[start, end)``.
+
+    The paper's channels may duplicate; the algorithm's sets and the delta
+    stream's cumulative acks make every delivery idempotent, so the only
+    observable effect should be the ``duplicated`` counter."""
+
+    start: float
+    end: float
+    probability: float = 1.0
+
+    def install(self, cluster: SimulatedCluster) -> None:
+        if self.end <= self.start:
+            raise ValueError("duplication end must come after its start")
+        cluster.simulator.schedule_at(
+            self.start,
+            lambda: cluster.network.start_duplication(self.end, self.probability),
+        )
+
+    def end_time(self) -> float:
+        return self.end
+
+
+@dataclass
+class CorruptTransfers:
+    """Flip bytes in checkpoint-transfer chunks with ``probability`` during
+    ``[start, end)``.
+
+    The receiver recomputes the assembled checkpoint's sha-256 content
+    digest against the one the chunks were sent under and discards a
+    mismatching body; the next advert that still shows it behind re-queues
+    the pull, so a corrupted transfer costs a retry, never safety."""
+
+    start: float
+    end: float
+    probability: float = 1.0
+
+    def install(self, cluster: SimulatedCluster) -> None:
+        if self.end <= self.start:
+            raise ValueError("corruption end must come after its start")
+        cluster.simulator.schedule_at(
+            self.start,
+            lambda: cluster.network.start_corruption(self.end, self.probability),
+        )
+
+    def end_time(self) -> float:
+        return self.end
+
+
+@dataclass
 class FaultSchedule:
     """A collection of faults to install on a cluster before running it."""
 
@@ -103,3 +214,44 @@ class FaultSchedule:
         """The time after which the timing assumptions hold again (the ``t``
         of Theorem 9.4)."""
         return max((fault.end_time() for fault in self.faults), default=0.0)
+
+
+# --------------------------------------------------------------------------- #
+# Serialization (conformance vectors)                                         #
+# --------------------------------------------------------------------------- #
+
+#: Fault kind tag -> dataclass, used by the conformance codec to round-trip
+#: fault schedules through vector files.  New adversaries must register here.
+FAULT_KINDS: Dict[str, type] = {
+    "replica_crash": ReplicaCrash,
+    "gossip_outage": GossipOutage,
+    "delay_spike": DelaySpike,
+    "asymmetric_partition": AsymmetricPartition,
+    "straggler": StragglerReplica,
+    "duplicate_messages": DuplicateMessages,
+    "corrupt_transfers": CorruptTransfers,
+}
+
+_KIND_OF = {cls: kind for kind, cls in FAULT_KINDS.items()}
+
+
+def fault_to_dict(fault: Any) -> Dict[str, Any]:
+    """A plain-JSON representation of *fault* (its kind tag plus fields)."""
+    cls = type(fault)
+    if cls not in _KIND_OF:
+        raise ValueError(f"unregistered fault class {cls.__name__}")
+    doc = dataclasses.asdict(fault)
+    doc["kind"] = _KIND_OF[cls]
+    return doc
+
+
+def fault_from_dict(doc: Dict[str, Any]) -> Any:
+    """Rebuild a fault from :func:`fault_to_dict` output.  Unknown keys
+    (e.g. the sharded harness's ``shard`` attribution) are ignored."""
+    fields = dict(doc)
+    kind = fields.pop("kind", None)
+    if kind not in FAULT_KINDS:
+        raise ValueError(f"unknown fault kind {kind!r}")
+    cls = FAULT_KINDS[kind]
+    names = {f.name for f in dataclasses.fields(cls)}
+    return cls(**{k: v for k, v in fields.items() if k in names})

@@ -5,13 +5,27 @@ delivery, ``dg`` bounds replica <-> replica (gossip) delivery.  Deliveries may
 optionally be jittered below the bound (the bound is an upper bound in the
 paper), dropped, or delayed by fault windows (used for the Theorem 9.4
 recovery experiment E4).
+
+Beyond the symmetric partition / delay-spike model, the network supports the
+richer adversaries of the conformance suite: *directed* link partitions (A
+hears B but not vice versa), per-node straggler factors (a persistently slow
+replica), message duplication windows, and checkpoint-transfer corruption
+windows.  Fault-window randomness (duplicate / corrupt coin flips) is drawn
+from a dedicated ``fault_rng`` stream so that enabling an adversary never
+perturbs the primary delay/loss stream — a cluster with a duplication window
+sees exactly the same primary deliveries as one without, which is what makes
+the duplicate-idempotence twin tests (and the conformance vectors) exact.
 """
 
 from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import Set
+from typing import Dict, Optional, Set, Tuple
+
+#: Seed of the auxiliary fault stream.  A fixed constant: fault coins must be
+#: reproducible per cluster without consuming draws from the primary rng.
+FAULT_STREAM_SEED = 0x5E5D5
 
 
 @dataclass
@@ -45,7 +59,12 @@ class MessageCounters:
     """Per-category message accounting for the overhead experiments
     (E8/E11).  ``pull`` / ``transfer`` count the advert/pull catch-up
     control plane; ``transfer_payload`` accumulates the checkpoint-body
-    bytes actually shipped on demand (zero in steady state)."""
+    bytes actually shipped on demand (zero in steady state).
+
+    ``duplicated`` counts *extra* deliveries injected by a duplication
+    window — deliberately excluded from the per-kind send counters so the
+    overhead metrics stay comparable with and without the adversary.
+    ``corrupted`` counts transfer chunks tampered in flight."""
 
     request: int = 0
     response: int = 0
@@ -53,6 +72,8 @@ class MessageCounters:
     pull: int = 0
     transfer: int = 0
     dropped: int = 0
+    duplicated: int = 0
+    corrupted: int = 0
     gossip_payload: int = 0
     transfer_payload: int = 0
 
@@ -69,8 +90,22 @@ class SimulatedNetwork:
         self.counters = MessageCounters()
         #: Replica / client identifiers currently partitioned away.
         self.partitioned: Set[str] = set()
+        #: Directed ``(source, destination)`` pairs currently severed —
+        #: the asymmetric-partition adversary (A hears B but not vice versa).
+        self.partitioned_links: Set[Tuple[str, str]] = set()
+        #: Per-node persistent delay multipliers (straggler replicas);
+        #: messages to *or* from a straggler are slowed by its factor.
+        self.stragglers: Dict[str, float] = {}
         #: When > simulator time, delays are multiplied by ``spike_factor``.
         self._spike_until: float = float("-inf")
+        #: Duplication window: until when / with what per-message probability.
+        self._duplicate_until: float = float("-inf")
+        self._duplicate_probability: float = 0.0
+        #: Corruption window for checkpoint transfers.
+        self._corrupt_until: float = float("-inf")
+        self._corrupt_probability: float = 0.0
+        #: Auxiliary stream for fault-window coin flips (see module docstring).
+        self.fault_rng = random.Random(FAULT_STREAM_SEED)
 
     # -- fault control ---------------------------------------------------------
 
@@ -82,24 +117,69 @@ class SimulatedNetwork:
         """Reconnect *node*."""
         self.partitioned.discard(node)
 
+    def partition_link(self, source: str, destination: str) -> None:
+        """Sever the directed link ``source -> destination`` only; traffic in
+        the other direction still flows (asymmetric partition)."""
+        self.partitioned_links.add((source, destination))
+
+    def heal_link(self, source: str, destination: str) -> None:
+        """Restore the directed link ``source -> destination``."""
+        self.partitioned_links.discard((source, destination))
+
+    def set_straggler(self, node: str, factor: float) -> None:
+        """Multiply delays of messages to or from *node* by *factor*."""
+        if factor < 1.0:
+            raise ValueError("straggler factor must be >= 1 (never speeds up)")
+        self.stragglers[node] = factor
+
+    def clear_straggler(self, node: str) -> None:
+        """Restore *node* to normal speed."""
+        self.stragglers.pop(node, None)
+
     def start_delay_spike(self, until: float) -> None:
         """Multiply delays by ``spike_factor`` until simulation time *until*."""
         self._spike_until = until
 
+    def start_duplication(self, until: float, probability: float) -> None:
+        """Deliver a second copy of each message with *probability* until
+        simulation time *until*."""
+        if not 0.0 <= probability <= 1.0:
+            raise ValueError("duplication probability must be within [0, 1]")
+        self._duplicate_until = until
+        self._duplicate_probability = probability
+
+    def start_corruption(self, until: float, probability: float) -> None:
+        """Flip bytes in checkpoint-transfer chunks with *probability* until
+        simulation time *until*."""
+        if not 0.0 <= probability <= 1.0:
+            raise ValueError("corruption probability must be within [0, 1]")
+        self._corrupt_until = until
+        self._corrupt_probability = probability
+
     # -- delay / loss decisions ------------------------------------------------
 
-    def _base_delay(self, kind: str) -> float:
+    def _base_delay(self, kind: str, rng: random.Random) -> float:
         bound = self.model.df if kind in ("request", "response") else self.model.dg
         if self.model.jitter > 0:
             low = (1.0 - self.model.jitter) * bound
-            return self.rng.uniform(low, bound)
+            return rng.uniform(low, bound)
         return bound
 
-    def delay_for(self, kind: str, now: float) -> float:
+    def delay_for(
+        self,
+        kind: str,
+        now: float,
+        source: Optional[str] = None,
+        destination: Optional[str] = None,
+        _rng: Optional[random.Random] = None,
+    ) -> float:
         """The delivery delay for a message of the given kind sent at *now*."""
-        delay = self._base_delay(kind)
+        delay = self._base_delay(kind, self.rng if _rng is None else _rng)
         if now < self._spike_until:
             delay *= max(self.model.spike_factor, 1.0)
+        for node in (source, destination):
+            if node is not None and node in self.stragglers:
+                delay *= self.stragglers[node]
         return delay
 
     def should_drop(self, kind: str, source: str, destination: str) -> bool:
@@ -107,10 +187,46 @@ class SimulatedNetwork:
         if source in self.partitioned or destination in self.partitioned:
             self.counters.dropped += 1
             return True
+        if (source, destination) in self.partitioned_links:
+            self.counters.dropped += 1
+            return True
         if self.model.loss_probability > 0 and self.rng.random() < self.model.loss_probability:
             self.counters.dropped += 1
             return True
         return False
+
+    def maybe_duplicate(
+        self,
+        kind: str,
+        now: float,
+        source: Optional[str] = None,
+        destination: Optional[str] = None,
+    ) -> Optional[float]:
+        """Inside an active duplication window, decide whether this send gets
+        a second delivery; returns the extra copy's delay, or ``None``.
+
+        Both the coin flip and the duplicate's jitter come from the fault
+        stream, so the primary delivery schedule is untouched.  The cluster
+        must reuse the already-built message for the extra delivery — in
+        particular a duplicated delta-gossip message carries the *same*
+        seqno, which the receiver's cumulative-ack stream deduplicates.
+        """
+        if now >= self._duplicate_until or self._duplicate_probability <= 0.0:
+            return None
+        if self.fault_rng.random() >= self._duplicate_probability:
+            return None
+        self.counters.duplicated += 1
+        return self.delay_for(kind, now, source, destination, _rng=self.fault_rng)
+
+    def should_corrupt_transfer(self, now: float) -> bool:
+        """Inside an active corruption window, decide whether this transfer
+        chunk gets tampered in flight (coin from the fault stream)."""
+        if now >= self._corrupt_until or self._corrupt_probability <= 0.0:
+            return False
+        if self.fault_rng.random() >= self._corrupt_probability:
+            return False
+        self.counters.corrupted += 1
+        return True
 
     def record_sent(self, kind: str, payload_size: int = 0) -> None:
         if kind == "request":

@@ -2,9 +2,11 @@
 
 Each scenario draws a random deployment (replica count, data type, timing
 parameters, gossip mode), a random client workload (operator mix, strict
-fraction, dependency policy) and a random :class:`FaultSchedule` (crashes
-with recovery, gossip outages, delay spikes), runs it on the discrete-event
-simulator, and then checks the two correctness oracles on the outcome:
+fraction, dependency policy) and a random fault schedule (crashes with
+recovery, gossip outages, delay spikes — plus, in the extended batch, the
+adversarial kinds: asymmetric partitions, stragglers, duplication, transfer
+corruption), runs it on the discrete-event simulator, and then checks the
+correctness oracles on the outcome:
 
 * the **eventual-serializability oracle** (Theorem 5.8): every strict
   response is explained by the system-wide minimum-label eventual order;
@@ -14,15 +16,21 @@ simulator, and then checks the two correctness oracles on the outcome:
   the quiescent state; crashes are always recovered, so convergence is
   guaranteed by the perpetual gossip timers).
 
+The scenario sampler and the oracles live in :mod:`repro.conformance` and
+are shared with the conformance-vector generator: the fuzzer explores fresh
+seeds, the checked-in corpus (``tests/vectors/``) freezes a reviewed sample
+of the same distribution.  When a scenario fails and ``FUZZ_ARTIFACT_DIR``
+is set, the offending spec is dumped as a conformance vector so the failure
+reproduces with ``python -m repro.conformance.replay <artifact>`` instead of
+a seed hunt (CI uploads the artifacts).
+
 Every scenario runs under both full-state and delta gossip — the PR 1
 equivalence argument says the observable guarantees are identical, and this
 suite is the randomized regression net enforcing it.  A smaller batch of
 scenarios exercises the sharded service layer with per-shard faults; another
-re-runs the corpus seeds with *aggressive* checkpoint compaction (fold every
-stable operation immediately) — the bounded-memory mechanism must preserve
-exactly the same guarantees — and a further batch forces **advert/pull**
-gossip on top of that, so the pull-based catch-up plane is exercised under
-random crashes, loss and delay spikes.
+re-runs the corpus seeds with *aggressive* checkpoint compaction; a further
+batch forces **advert/pull** gossip on top of that; and the extended-fault
+batch turns on the full adversary mix.
 
 The corpus size is ``FUZZ_SEEDS`` seeds per mode (default 20); the nightly
 CI job widens it via the ``FUZZ_SEEDS`` environment variable to cover
@@ -32,17 +40,25 @@ long-tail interleavings without slowing PR builds.
 import dataclasses
 import os
 import random
+from pathlib import Path
 
 import pytest
 
 from repro.algorithm.checkpoint import CompactionPolicy
-from repro.datatypes import CounterType, GSetType, RegisterType
-from repro.sim.cluster import SimulatedCluster, SimulationParams
-from repro.sim.faults import DelaySpike, FaultSchedule, GossipOutage, ReplicaCrash
-from repro.sim.sharded import ShardedCluster
-from repro.sim.workload import KeyedWorkloadSpec, WorkloadSpec, run_keyed_workload, run_workload
-from repro.verification.invariants import AlgorithmInvariantChecker
-from repro.verification.serializability import check_recorded_trace
+from repro.conformance.generate import (
+    random_fault_dicts,
+    random_keyed_workload_fields,
+    random_params,
+    random_workload_fields,
+)
+from repro.conformance.oracles import check_cluster_outcome, quiesce
+from repro.conformance.replay import dump_failure_artifact
+from repro.conformance.scenario import (
+    DATA_TYPE_NAMES,
+    UNSHARDED,
+    ScenarioSpec,
+    run_scenario,
+)
 
 FUZZ_SEEDS = list(range(int(os.environ.get("FUZZ_SEEDS", "20"))))
 
@@ -50,194 +66,91 @@ FUZZ_SEEDS = list(range(int(os.environ.get("FUZZ_SEEDS", "20"))))
 #: any operation was lost to a volatile crash; consumed by the corpus check.
 _LOSSINESS = {}
 
-#: Random operator mixes per data type: (type factory, operator chooser).
-DATA_TYPES = [
-    (CounterType, lambda rng, i: rng.choice(
-        [CounterType.increment(), CounterType.add(rng.randint(1, 5)), CounterType.read()])),
-    (GSetType, lambda rng, i: rng.choice(
-        [GSetType.insert(rng.randint(0, 9)), GSetType.size(), GSetType.snapshot()])),
-    (RegisterType, lambda rng, i: rng.choice(
-        [RegisterType.write(rng.randint(0, 99)), RegisterType.read()])),
-]
 
-
-def random_params(rng: random.Random, delta_gossip: bool) -> SimulationParams:
-    return SimulationParams(
-        df=1.0,
-        dg=1.0,
-        gossip_period=rng.choice([1.0, 2.0]),
-        jitter=rng.choice([0.0, 0.5]),
-        loss_probability=rng.choice([0.0, 0.0, 0.1]),
-        spike_factor=rng.choice([2.0, 5.0]),
-        service_time=rng.choice([0.0, 0.1]),
-        request_fanout=rng.choice([1, 2]),
-        frontend_policy=rng.choice(["affinity", "round_robin", "random"]),
-        retransmit_interval=4.0,  # masks loss and crash windows
-        delta_gossip=delta_gossip,
-        full_state_interval=rng.choice([4, 8]),
-        incremental_replay=rng.random() < 0.5,
-        batch_gossip=rng.random() < 0.5,
+def random_sim_spec(name, seed, delta_gossip, params_tweak=None, extended=False):
+    """One random single-cluster scenario spec (the rng draw order matches
+    the historical in-process fuzzer, so the explored executions are the
+    same ones)."""
+    rng = random.Random(seed * 2 + (1 if delta_gossip else 0))
+    data_type = rng.choice(DATA_TYPE_NAMES)
+    params = random_params(rng, delta_gossip)
+    if params_tweak is not None:
+        params = params_tweak(rng, params)
+    num_replicas = rng.randint(2, 4)
+    clients = tuple(f"c{i}" for i in range(rng.randint(1, 3)))
+    workload = random_workload_fields(rng)
+    horizon = workload["operations_per_client"] * workload["mean_interarrival"]
+    replica_ids = [f"r{i}" for i in range(num_replicas)]
+    faults = random_fault_dicts(rng, replica_ids, horizon, extended=extended)
+    return ScenarioSpec(
+        name=name,
+        harness="sim",
+        data_type=data_type,
+        num_replicas=num_replicas,
+        clients=clients,
+        seed=seed * 31 + 7,
+        workload_seed=seed + 1000,
+        params=params,
+        workload=workload,
+        faults=tuple(faults),
     )
 
 
-def random_workload(rng: random.Random, operator_factory) -> WorkloadSpec:
-    return WorkloadSpec(
-        operations_per_client=rng.randint(6, 12),
-        mean_interarrival=rng.choice([0.5, 1.0]),
-        poisson_arrivals=rng.random() < 0.5,
-        strict_fraction=rng.choice([0.0, 0.2, 0.5]),
-        prev_policy=rng.choice(["none", "last_own", "random_own"]),
-        operator_factory=operator_factory,
-    )
-
-
-def random_faults(rng: random.Random, replica_ids, horizon: float) -> FaultSchedule:
-    """0-2 random faults, all of which end (crashes always recover) so the
-    system is guaranteed to converge afterwards."""
-    schedule = FaultSchedule()
-    for _ in range(rng.randint(0, 2)):
-        kind = rng.choice(["crash", "outage", "spike"])
-        start = rng.uniform(1.0, max(horizon - 2.0, 2.0))
-        length = rng.uniform(2.0, 10.0)
-        if kind == "crash":
-            schedule.add(ReplicaCrash(
-                rng.choice(replica_ids), at=start, recover_at=start + length,
-                volatile_memory=rng.random() < 0.7,
-            ))
-        elif kind == "outage":
-            schedule.add(GossipOutage(rng.choice(replica_ids), start=start, end=start + length))
-        else:
-            schedule.add(DelaySpike(start=start, end=start + length))
-    return schedule
-
-
-def classify_casualties(cluster):
-    """Partition the requested operations into ``(lost, stuck)`` identifiers.
-
-    A volatile crash wipes everything but the locally generated labels
-    (Section 9.3), so an operation that was done and *answered* at one
-    replica and then wiped before any gossip spread it is gone for good —
-    the front end stopped retransmitting when the response arrived.  That is
-    the ack-before-replicate window the paper's fault model genuinely
-    permits; the liveness-flavoured checks below must not demand the
-    impossible for such operations.  ``stuck`` operations are those whose
-    ``prev`` chain passes through a lost operation: no replica can ever do
-    them (``can_do`` waits for the lost dependency), so they stay
-    unanswered.  Unanswered-and-wiped operations are neither: retransmission
-    re-delivers them.
-    """
-    known = set()
-    compacted_ids = set(cluster.compaction_ledger.ids)
-    for replica in cluster.replicas.values():
-        known |= replica.rcvd | replica.done_here()
-    lost = {
-        op_id
-        for op_id, op in cluster.requested.items()
-        if op_id in cluster.responded and op not in known and op_id not in compacted_ids
-    }
-    unreachable = set(lost)
-    changed = True
-    while changed:
-        changed = False
-        for op_id, op in cluster.requested.items():
-            if op_id not in unreachable and op.prev & unreachable:
-                unreachable.add(op_id)
-                changed = True
-    return lost, unreachable - lost
-
-
-def quiesce(cluster, surviving_ids=None, max_rounds: int = 200) -> bool:
-    """Run extra gossip rounds until every surviving operation is stable at
-    every replica.
-
-    Perpetual gossip timers guarantee convergence once faults have ended;
-    message loss only delays it (delta gossip falls back to full state every
-    ``full_state_interval`` sends, so dropped seqnos cannot wedge a peer).
-    """
-    if surviving_ids is None:
-        surviving_ids = set(cluster.requested)
-    targets = {cluster.requested[op_id] for op_id in surviving_ids}
-
-    def settled() -> bool:
-        return all(
-            all(replica.knows_stable(op) for op in targets)
-            for replica in cluster.replicas.values()
+def random_sharded_spec(name, seed, delta_gossip):
+    rng = random.Random(900 + seed * 2 + (1 if delta_gossip else 0))
+    params = random_params(rng, delta_gossip)
+    num_shards = rng.choice([2, 3])
+    clients = tuple(f"c{i}" for i in range(rng.randint(1, 2)))
+    workload = random_keyed_workload_fields(rng)
+    horizon = workload["operations_per_client"] * workload["mean_interarrival"]
+    faults = []
+    for index in range(num_shards):
+        faults.extend(
+            random_fault_dicts(rng, [f"r{i}" for i in range(3)], horizon, shard=f"s{index}")
         )
+    return ScenarioSpec(
+        name=name,
+        harness="sharded",
+        data_type="counter",
+        num_replicas=3,
+        num_shards=num_shards,
+        clients=clients,
+        seed=seed * 13 + 5,
+        workload_seed=seed + 77,
+        params=params,
+        workload=workload,
+        faults=tuple(faults),
+    )
 
-    period = cluster.params.gossip_period + cluster.params.dg + cluster.params.df
-    for _ in range(max_rounds):
-        if settled():
-            return True
-        cluster.run(period)
-    return settled()
 
-
-def check_scenario_outcome(cluster):
-    """The oracles every scenario must satisfy at quiescence.
-
-    Returns the ``(lost, stuck)`` casualty sets so callers can account for
-    how often the loss-tolerant relaxations were actually exercised.
-    """
-    lost, stuck = classify_casualties(cluster)
-    surviving = set(cluster.requested) - lost - stuck
-    # Liveness: everything that *can* complete did complete.
-    unanswered = set(cluster.requested) - set(cluster.responded)
-    assert unanswered <= stuck, f"survivable operations left unanswered: {unanswered - stuck}"
-    assert quiesce(cluster, surviving), "cluster failed to converge after faults ended"
-    # Eventual-serializability oracle (Theorem 5.8) — unconditional safety.
-    # The witness is the minimum-label order over the surviving operations;
-    # casualties are appended in client order (a lost operation leaves only a
-    # stable-storage ghost label, which no surviving response ever saw, so it
-    # must not sit inside the order; no csc edge can lead from a casualty to
-    # a survivor, or the survivor would itself be stuck).
-    casualties = lost | stuck
-    witness = [op_id for op_id in cluster.eventual_order() if op_id not in casualties]
-    witness += sorted(casualties, key=lambda op_id: (op_id.client, op_id.seqno))
-    check_recorded_trace(cluster.data_type, cluster.trace, witness=witness)
-    # Section 7/8 invariants on the quiescent algorithm view.  The checker
-    # assumes the crash-free universe: a lost operation leaves a restored
-    # stable-storage label with no surviving body behind (violating 7.5 by
-    # design), so the full sweep applies exactly to loss-free executions —
-    # the vast majority of seeds.
-    if not lost:
-        AlgorithmInvariantChecker(cluster.algorithm_view()).check_all()
-    # All replicas agree on the final state (convergence, Lemma 2.7) —
-    # computed as checkpoint base plus tracked suffix, so compacted and
-    # uncompacted replicas are compared on the same footing.
-    states = {
-        replica_id: replica.replayed_state()
-        for replica_id, replica in cluster.replicas.items()
-    }
-    assert len(set(states.values())) == 1, f"replica states diverged: {states}"
-    return lost, stuck
+def run_checked(spec):
+    """Run a scenario spec and apply the full oracle suite to every outcome
+    group; on any failure, dump the spec as a replayable conformance-vector
+    artifact when ``FUZZ_ARTIFACT_DIR`` is set."""
+    try:
+        run = run_scenario(spec)
+        results = {group: check_cluster_outcome(c) for group, c in run.clusters.items()}
+        return run, results
+    except Exception as exc:
+        artifact_dir = os.environ.get("FUZZ_ARTIFACT_DIR")
+        if not artifact_dir:
+            raise
+        path = dump_failure_artifact(spec, exc, Path(artifact_dir))
+        raise AssertionError(
+            f"scenario {spec.name} failed: {exc}\n"
+            f"artifact dumped; reproduce with: python -m repro.conformance.replay {path}"
+        ) from exc
 
 
 @pytest.mark.parametrize("delta_gossip", [False, True], ids=["full", "delta"])
 @pytest.mark.parametrize("seed", FUZZ_SEEDS)
 def test_random_scenarios_preserve_guarantees(seed, delta_gossip):
-    rng = random.Random(seed * 2 + (1 if delta_gossip else 0))
-    type_factory, operator_factory = rng.choice(DATA_TYPES)
-    params = random_params(rng, delta_gossip)
-    num_replicas = rng.randint(2, 4)
-    clients = [f"c{i}" for i in range(rng.randint(1, 3))]
-    cluster = SimulatedCluster(
-        type_factory(), num_replicas, clients, params=params, seed=seed * 31 + 7
-    )
-
-    spec = random_workload(rng, operator_factory)
-    horizon = spec.operations_per_client * spec.mean_interarrival
-    faults = random_faults(rng, list(cluster.replica_ids), horizon)
-    faults.install(cluster)
-
-    result = run_workload(cluster, spec, seed=seed + 1000, drain_time=600.0)
-    # Let every fault window end before judging the outcome.
-    remaining = faults.last_fault_time() - cluster.now
-    if remaining > 0:
-        cluster.run(remaining + params.gossip_period)
-    cluster.run_until_idle(max_time=600.0)
-
-    assert result.submitted == spec.operations_per_client * len(clients)
-    lost, _stuck = check_scenario_outcome(cluster)
+    mode = "delta" if delta_gossip else "full"
+    spec = random_sim_spec(f"fuzz-base-{mode}-{seed:03d}", seed, delta_gossip)
+    run, results = run_checked(spec)
+    expected = spec.workload["operations_per_client"] * len(spec.clients)
+    assert run.workload_result.submitted == expected
+    lost, _stuck = results[UNSHARDED]
     _LOSSINESS[(seed, delta_gossip)] = bool(lost)
 
 
@@ -259,6 +172,22 @@ def test_fuzz_corpus_is_mostly_loss_free():
 COMPACTION_SEEDS = FUZZ_SEEDS[: max(10, len(FUZZ_SEEDS) // 2)]
 
 
+def _aggressive_compaction(rng, params):
+    return dataclasses.replace(
+        params, compaction=CompactionPolicy(min_batch=1), compaction_interval=1.0
+    )
+
+
+def _advert_pull(rng, params):
+    return dataclasses.replace(
+        params,
+        compaction=CompactionPolicy(min_batch=1),
+        compaction_interval=1.0,
+        advert_gossip=True,
+        checkpoint_chunk=rng.choice([None, 2, 5]),
+    )
+
+
 @pytest.mark.parametrize("delta_gossip", [False, True], ids=["full", "delta"])
 @pytest.mark.parametrize("seed", COMPACTION_SEEDS)
 def test_random_scenarios_with_aggressive_compaction(seed, delta_gossip):
@@ -266,32 +195,15 @@ def test_random_scenarios_with_aggressive_compaction(seed, delta_gossip):
     (fold every stable operation immediately, plus a forced interval sweep):
     the same liveness, Theorem 5.8 and invariant oracles must hold, and the
     scenario must actually exercise compaction."""
-    rng = random.Random(seed * 2 + (1 if delta_gossip else 0))
-    type_factory, operator_factory = rng.choice(DATA_TYPES)
-    params = dataclasses.replace(
-        random_params(rng, delta_gossip),
-        compaction=CompactionPolicy(min_batch=1),
-        compaction_interval=1.0,
+    mode = "delta" if delta_gossip else "full"
+    spec = random_sim_spec(
+        f"fuzz-compact-{mode}-{seed:03d}", seed, delta_gossip, params_tweak=_aggressive_compaction
     )
-    num_replicas = rng.randint(2, 4)
-    clients = [f"c{i}" for i in range(rng.randint(1, 3))]
-    cluster = SimulatedCluster(
-        type_factory(), num_replicas, clients, params=params, seed=seed * 31 + 7
-    )
-
-    spec = random_workload(rng, operator_factory)
-    horizon = spec.operations_per_client * spec.mean_interarrival
-    faults = random_faults(rng, list(cluster.replica_ids), horizon)
-    faults.install(cluster)
-
-    result = run_workload(cluster, spec, seed=seed + 1000, drain_time=600.0)
-    remaining = faults.last_fault_time() - cluster.now
-    if remaining > 0:
-        cluster.run(remaining + params.gossip_period)
-    cluster.run_until_idle(max_time=600.0)
-
-    assert result.submitted == spec.operations_per_client * len(clients)
-    lost, stuck = check_scenario_outcome(cluster)
+    run, results = run_checked(spec)
+    expected = spec.workload["operations_per_client"] * len(spec.clients)
+    assert run.workload_result.submitted == expected
+    cluster = run.clusters[UNSHARDED]
+    lost, stuck = results[UNSHARDED]
     # The sweep must not be vacuous: with min_batch=1 every answered
     # operation eventually gets folded once stability spreads.  Quiesce only
     # over the survivors — casualties of volatile crashes can never settle,
@@ -300,7 +212,7 @@ def test_random_scenarios_with_aggressive_compaction(seed, delta_gossip):
     for _ in range(5):
         for replica in cluster.replicas.values():
             replica.maybe_compact(force=True)
-        cluster.run(params.gossip_period + params.dg)
+        cluster.run(spec.params.gossip_period + spec.params.dg)
     assert len(cluster.compacted_prefix) > 0, "compaction never happened"
     # After quiescence + forced sweeps every replica's residual tracked set
     # must have shrunk below the full history — i.e. records were really
@@ -318,37 +230,16 @@ def test_random_scenarios_with_advert_pull_gossip(seed, delta_gossip):
     messages now carry adverts instead of checkpoint bodies, and any replica
     wiped by a volatile crash must catch up through the pull/transfer plane
     under the same random faults.  All oracles must hold unchanged."""
-    rng = random.Random(seed * 2 + (1 if delta_gossip else 0))
-    type_factory, operator_factory = rng.choice(DATA_TYPES)
-    params = dataclasses.replace(
-        random_params(rng, delta_gossip),
-        compaction=CompactionPolicy(min_batch=1),
-        compaction_interval=1.0,
-        advert_gossip=True,
-        checkpoint_chunk=rng.choice([None, 2, 5]),
+    mode = "delta" if delta_gossip else "full"
+    spec = random_sim_spec(
+        f"fuzz-advert-{mode}-{seed:03d}", seed, delta_gossip, params_tweak=_advert_pull
     )
-    num_replicas = rng.randint(2, 4)
-    clients = [f"c{i}" for i in range(rng.randint(1, 3))]
-    cluster = SimulatedCluster(
-        type_factory(), num_replicas, clients, params=params, seed=seed * 31 + 7
-    )
-
-    spec = random_workload(rng, operator_factory)
-    horizon = spec.operations_per_client * spec.mean_interarrival
-    faults = random_faults(rng, list(cluster.replica_ids), horizon)
-    faults.install(cluster)
-
-    result = run_workload(cluster, spec, seed=seed + 1000, drain_time=600.0)
-    remaining = faults.last_fault_time() - cluster.now
-    if remaining > 0:
-        cluster.run(remaining + params.gossip_period)
-    cluster.run_until_idle(max_time=600.0)
-
-    assert result.submitted == spec.operations_per_client * len(clients)
-    check_scenario_outcome(cluster)
+    run, _results = run_checked(spec)
+    expected = spec.workload["operations_per_client"] * len(spec.clients)
+    assert run.workload_result.submitted == expected
     # Advert mode must really be live: eager checkpoint bodies never ride on
     # gossip; any catch-up went through the pull/transfer plane.
-    for replica in cluster.replicas.values():
+    for replica in run.clusters[UNSHARDED].replicas.values():
         message = replica.make_gossip()
         assert message.checkpoint is None
         if replica.checkpoint.count:
@@ -356,39 +247,37 @@ def test_random_scenarios_with_advert_pull_gossip(seed, delta_gossip):
 
 
 @pytest.mark.parametrize("delta_gossip", [False, True], ids=["full", "delta"])
+@pytest.mark.parametrize("seed", COMPACTION_SEEDS)
+def test_random_scenarios_with_extended_fault_mix(seed, delta_gossip):
+    """Advert/pull scenarios under the *extended* adversary mix (asymmetric
+    partitions, stragglers, duplicated messages, corrupted checkpoint
+    transfers on top of the classic crash/outage/spike kinds): every oracle
+    must hold, and any corruption that fired must have been caught by the
+    transfer digest check (a corrupted body is never adopted — the replica
+    re-pulls until a clean copy lands, so convergence still holds)."""
+    mode = "delta" if delta_gossip else "full"
+    spec = random_sim_spec(
+        f"fuzz-adversarial-{mode}-{seed:03d}",
+        seed,
+        delta_gossip,
+        params_tweak=_advert_pull,
+        extended=True,
+    )
+    run, _results = run_checked(spec)
+    cluster = run.clusters[UNSHARDED]
+    corrupted = cluster.network.counters.corrupted
+    rejections = sum(replica.stats.transfer_rejections for replica in cluster.replicas.values())
+    # Every tampered chunk that completed an assembly was rejected; the
+    # converse need not hold (a tampered chunk superseded mid-transfer never
+    # completes), so rejections is bounded by the tamper count.
+    assert rejections <= corrupted
+
+
+@pytest.mark.parametrize("delta_gossip", [False, True], ids=["full", "delta"])
 @pytest.mark.parametrize("seed", [0, 1, 2, 3])
 def test_random_sharded_scenarios_preserve_guarantees(seed, delta_gossip):
     """The same oracles, per shard, on the sharded service layer with faults
     injected into individual shards."""
-    rng = random.Random(900 + seed * 2 + (1 if delta_gossip else 0))
-    params = random_params(rng, delta_gossip)
-    cluster = ShardedCluster(
-        CounterType(), num_shards=rng.choice([2, 3]), replicas_per_shard=3,
-        client_ids=[f"c{i}" for i in range(rng.randint(1, 2))],
-        params=params, seed=seed * 13 + 5,
-    )
-    spec = KeyedWorkloadSpec(
-        operations_per_client=rng.randint(6, 10),
-        mean_interarrival=rng.choice([0.5, 1.0]),
-        strict_fraction=rng.choice([0.0, 0.3]),
-        num_keys=rng.choice([4, 8]),
-        key_distribution=rng.choice(["uniform", "zipfian"]),
-        prev_policy=rng.choice(["none", "last_on_key"]),
-    )
-    horizon = spec.operations_per_client * spec.mean_interarrival
-    schedules = []
-    for shard in cluster.shards.values():
-        faults = random_faults(rng, list(shard.replica_ids), horizon)
-        faults.install(shard)
-        schedules.append(faults)
-
-    run_keyed_workload(cluster, spec, seed=seed + 77, drain_time=600.0)
-    last_fault = max(schedule.last_fault_time() for schedule in schedules)
-    if last_fault > cluster.now:
-        cluster.run(last_fault - cluster.now + params.gossip_period)
-    cluster.run_until_idle(max_time=600.0)
-
-    # Every shard is an independent ESDS instance: the full set of oracles
-    # applies to each one separately.
-    for shard in cluster.shards.values():
-        check_scenario_outcome(shard)
+    mode = "delta" if delta_gossip else "full"
+    spec = random_sharded_spec(f"fuzz-sharded-{mode}-{seed:03d}", seed, delta_gossip)
+    run_checked(spec)
