@@ -52,6 +52,7 @@ from repro.algorithm.messages import (
 )
 from repro.algorithm.channel import Channel, LossyChannel
 from repro.algorithm.frontend import FrontEndCore
+from repro.algorithm.fastcore import FastIncrementalReplicaCore, FastReplicaCore
 from repro.algorithm.replica import IncrementalReplicaCore, ReplicaCore
 from repro.algorithm.memoized import MemoizedReplicaCore
 from repro.algorithm.commute import CommuteReplicaCore
@@ -80,6 +81,8 @@ __all__ = [
     "FrontEndCore",
     "ReplicaCore",
     "IncrementalReplicaCore",
+    "FastReplicaCore",
+    "FastIncrementalReplicaCore",
     "MemoizedReplicaCore",
     "CommuteReplicaCore",
     "AlgorithmSystem",

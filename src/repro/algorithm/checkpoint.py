@@ -79,16 +79,10 @@ class OpIdSummary:
     intervals.  Compaction folds operations roughly in per-client seqno
     order, so the intervals coalesce: in steady state the summary holds one
     interval per client regardless of how many operations were compacted.
-
-    Caveat for sharded deployments: the service layer mints globally unique
-    per-client seqnos *across* shards, so one shard's compacted prefix sees
-    a gappy per-client subsequence whose holes belong to other shards
-    forever — its intervals cannot coalesce, and the summary grows with the
-    shard's history (two integers per operation, still an order of
-    magnitude below the 2n+3 per-operation records compaction drops, but
-    not O(clients)).  Truly O(clients) summaries for sharded deployments
-    need per-shard-contiguous identifier minting, a routing-layer change
-    left for a future PR.
+    This holds in sharded deployments too: the service layer mints
+    identifiers per ``(client, shard)`` (the ``client@shard`` composite
+    identity), so each shard's compacted prefix is a contiguous per-client
+    seqno run and its summary stays O(clients) as well.
     """
 
     __slots__ = ("_ranges", "_count")

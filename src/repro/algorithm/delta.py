@@ -67,6 +67,10 @@ class GossipSnapshot:
     labels: Dict[OperationId, Label]
     stable: FrozenSet[OperationDescriptor]
     checkpoint: Optional["Checkpoint"] = None
+    #: The sender's label-journal version at the snapshot point: a later
+    #: delta against this basis enumerates only label entries journaled
+    #: after it instead of scanning the whole label map.
+    label_version: int = 0
 
 
 @dataclass

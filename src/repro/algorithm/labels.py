@@ -32,6 +32,14 @@ class Label:
     rank: int
     replica: str
 
+    def __post_init__(self) -> None:
+        # Hot-path hash cache: identical value to the generated dataclass
+        # __hash__, computed once at construction (see FastReplicaCore).
+        object.__setattr__(self, "_hash", hash((self.rank, self.replica)))
+
+    def __hash__(self) -> int:
+        return self._hash
+
     def __lt__(self, other: object) -> bool:
         if other is INFINITY:
             return True
@@ -85,6 +93,20 @@ class LabelGenerator:
                 floor = label.rank + 1
         label = Label(rank=floor, replica=self.replica)
         self._next_rank = floor + 1
+        return label
+
+    def fresh_monotone(self) -> Label:
+        """A new label above everything ever generated *or observed*.
+
+        Equivalent to ``fresh(existing)`` whenever every label in *existing*
+        has previously passed through :meth:`fresh` or :meth:`observed` —
+        then ``_next_rank`` already exceeds every existing rank and the scan
+        in :meth:`fresh` is a no-op.  :class:`~repro.algorithm.fastcore.
+        FastReplicaCore` maintains exactly this invariant and uses this
+        constant-time path on ``do_it``.
+        """
+        label = Label(rank=self._next_rank, replica=self.replica)
+        self._next_rank += 1
         return label
 
     def observed(self, label: Optional[LabelOrInfinity]) -> None:

@@ -46,6 +46,7 @@ history.
 
 from __future__ import annotations
 
+from bisect import bisect_right
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Sequence, Set, Tuple
 
@@ -208,6 +209,17 @@ class ReplicaCore:
         #: (idle gossip ticks dominate long runs).
         self._state_version: int = 0
         self._snapshot_cache: Optional[Tuple[int, GossipSnapshot]] = None
+
+        #: Label-change journal (volatile): every store into ``labels`` is
+        #: stamped with a monotone version, so a delta send enumerates only
+        #: the entries touched since the peer's acked basis instead of
+        #: scanning the whole label map.  ``_label_journal_floor`` is the
+        #: highest pruned version: a basis at or above it can use the
+        #: journal, an older one falls back to the full scan.
+        self._label_version: int = 0
+        self._label_journal_versions: List[int] = []
+        self._label_journal_ids: List[OperationId] = []
+        self._label_journal_floor: int = 0
 
         #: Incremental-replay cache (volatile): the label order, per-position
         #: post-states and values of the last response replay.
@@ -418,6 +430,7 @@ class ReplicaCore:
                 raise SpecificationError("new label must exceed the compaction frontier")
         self.done_here().add(operation)
         self.labels[operation.id] = label
+        self._note_label_change(operation.id)
         self._stable_storage[operation.id] = label
         if not self._order_dirty:
             # The fresh label exceeds every label of the done set, so the
@@ -467,17 +480,20 @@ class ReplicaCore:
         still retained by the checkpoint (always, under the default unbounded
         ``value_retention``).
 
-        A replica in advert/pull catch-up answers only from retained
-        checkpoint values: its tracked history has a hole below the awaited
-        frontier, so a local replay could omit compacted effects and report
-        a wrong value.  Liveness is preserved by the pull retries (or by a
+        A replica in advert/pull catch-up answers from retained checkpoint
+        values, and — the one replay-based exception — operations whose
+        reported value is :meth:`~repro.datatypes.base.SerialDataType.\
+state_independent`: its tracked history has a hole below the awaited
+        frontier, so a local replay could omit compacted effects, but a
+        state-independent value is the same over any prefix.  Everything
+        else waits; liveness is preserved by the pull retries (or by a
         peer that still tracks everything answering instead).
         """
         if operation not in self.pending:
             return False
         if self.is_compacted(operation.id):
             return operation.id in self.checkpoint.values
-        if self.catching_up():
+        if self.catching_up() and not self.data_type.state_independent(operation.op):
             return False
         if operation not in self.done_here():
             return False
@@ -584,6 +600,19 @@ class ReplicaCore:
 
     # -------------------------------------------------------------- gossip path
 
+    def _note_label_change(self, op_id: OperationId) -> None:
+        """Record a store into ``labels`` in the label-change journal.
+
+        Every site that inserts or replaces a label entry must call this (or
+        inline the equivalent) so delta gossip's changed-since-basis
+        enumeration stays exact.  Deletions (compaction, adoption filtering)
+        need no entry: a delta iterates the sender's current labels, so a
+        deleted entry simply never appears — exactly as under the full scan.
+        """
+        self._label_version += 1
+        self._label_journal_versions.append(self._label_version)
+        self._label_journal_ids.append(op_id)
+
     def make_gossip(self, destination: Optional[str] = None) -> GossipMessage:
         """``send_rr'(("gossip", R, D, L, S))``.
 
@@ -650,11 +679,7 @@ class ReplicaCore:
             sender=self.replica_id,
             received=snapshot.received - basis.received,
             done=snapshot.done - basis.done,
-            labels={
-                op_id: label
-                for op_id, label in snapshot.labels.items()
-                if basis.labels.get(op_id) != label
-            },
+            labels=self._labels_since(snapshot, basis),
             stable=snapshot.stable - basis.stable,
             epoch=self._epoch,
             stream=out.stream,
@@ -664,6 +689,56 @@ class ReplicaCore:
             basis=basis,
             **self._checkpoint_attachment(snapshot.checkpoint if advanced else None),
         )
+
+    def _labels_since(self, snapshot: GossipSnapshot, basis: GossipSnapshot) -> Dict[OperationId, Label]:
+        """The label entries of *snapshot* that differ from *basis* — the
+        delta payload's ``L`` component.
+
+        Labels change only through journaled stores, so when the journal
+        still reaches back to the basis version the enumeration walks just
+        the entries touched since then (a handful in steady state) and
+        produces exactly what the full scan over ``snapshot.labels`` would.
+        A basis older than the pruned journal horizon falls back to that
+        full scan.
+        """
+        basis_labels = basis.labels
+        snap_labels = snapshot.labels
+        if basis.label_version < self._label_journal_floor:
+            return {
+                op_id: label
+                for op_id, label in snap_labels.items()
+                if basis_labels.get(op_id) != label
+            }
+        versions = self._label_journal_versions
+        start = bisect_right(versions, basis.label_version)
+        delta: Dict[OperationId, Label] = {}
+        snap_get = snap_labels.get
+        basis_get = basis_labels.get
+        for op_id in self._label_journal_ids[start:]:
+            label = snap_get(op_id)
+            # A journaled id absent from the snapshot was compacted away
+            # since the store — the full scan would not have sent it either.
+            if label is not None and basis_get(op_id) != label:
+                delta[op_id] = label
+        if len(versions) > 4096:
+            self._prune_label_journal()
+        return delta
+
+    def _prune_label_journal(self) -> None:
+        """Drop journal entries every peer's acked basis is already past."""
+        horizon = min(
+            (
+                out.basis.label_version
+                for out in self._peer_out.values()
+                if out.basis is not None
+            ),
+            default=self._label_version,
+        )
+        cut = bisect_right(self._label_journal_versions, horizon)
+        if cut:
+            del self._label_journal_versions[:cut]
+            del self._label_journal_ids[:cut]
+            self._label_journal_floor = horizon
 
     def _checkpoint_attachment(self, checkpoint: Optional[Checkpoint]) -> Dict[str, Any]:
         """The checkpoint-coverage field for an outgoing gossip message: the
@@ -687,6 +762,7 @@ class ReplicaCore:
             labels=dict(self.labels),
             stable=frozenset(self.stable_here()),
             checkpoint=self.checkpoint,
+            label_version=self._label_version,
         )
         self._snapshot_cache = (self._state_version, snapshot)
         return snapshot
@@ -749,6 +825,7 @@ class ReplicaCore:
             merged = label_min(INFINITY if current is None else current, label)
             if merged is not INFINITY and merged is not current:
                 self.labels[op_id] = merged
+                self._note_label_change(op_id)
                 if current is not None:
                     label_lowered = True
 
@@ -1227,6 +1304,12 @@ class ReplicaCore:
         self._stale_nacks = []
         self._state_version += 1
         self._snapshot_cache = None
+        # The rebuilt label map starts empty (recovery re-inserts below);
+        # no pre-crash basis survives (_peer_out was just cleared), so the
+        # journal restarts with the floor at the current version.
+        self._label_journal_versions = []
+        self._label_journal_ids = []
+        self._label_journal_floor = self._label_version
         self._reset_replay_cache()
         self._order_cache = []
         self._order_dirty = True
@@ -1251,6 +1334,7 @@ class ReplicaCore:
             merged = label_min(self.label_of(op_id), label)
             if merged is not INFINITY:
                 self.labels[op_id] = merged
+                self._note_label_change(op_id)
         self._order_dirty = True
         self._state_version += 1
 

@@ -31,6 +31,7 @@ from repro.algorithm.checkpoint import CompactionLedger, CompactionPolicy
 from repro.algorithm.frontend import FrontEndCore
 from repro.algorithm.labels import Label, LabelOrInfinity, label_min, label_sort_key
 from repro.algorithm.messages import GossipMessage, RequestMessage, ResponseMessage
+from repro.algorithm.fastcore import FastReplicaCore
 from repro.algorithm.replica import ReplicaCore
 from repro.common import INFINITY, ConfigurationError, OperationId, SpecificationError
 from repro.core.operations import OperationDescriptor, client_specified_constraints
@@ -108,6 +109,7 @@ class AlgorithmSystem:
         compaction: Optional[CompactionPolicy] = None,
         advert_gossip: bool = False,
         checkpoint_chunk: Optional[int] = None,
+        fast_core: bool = False,
     ) -> None:
         if len(set(replica_ids)) < 2:
             raise ConfigurationError("the algorithm assumes at least two replicas")
@@ -117,7 +119,7 @@ class AlgorithmSystem:
         self.replica_ids: Tuple[str, ...] = tuple(replica_ids)
         self.client_ids: Tuple[str, ...] = tuple(client_ids)
 
-        factory = replica_factory or ReplicaCore
+        factory = replica_factory or (FastReplicaCore if fast_core else ReplicaCore)
         self.users = users if users is not None else Users()
         self.frontends: Dict[str, FrontEndCore] = {
             c: FrontEndCore(c, self.replica_ids) for c in self.client_ids

@@ -75,6 +75,16 @@ class OperationId:
     client: str
     seqno: int
 
+    def __post_init__(self) -> None:
+        # Identifiers are hashed millions of times on the replay hot path
+        # (knowledge-set membership, label lookups); cache the value the
+        # generated dataclass __hash__ would compute so every later hash()
+        # is a single attribute read with an unchanged result.
+        object.__setattr__(self, "_hash", hash((self.client, self.seqno)))
+
+    def __hash__(self) -> int:
+        return self._hash
+
     def __str__(self) -> str:  # pragma: no cover - cosmetic
         return f"{self.client}#{self.seqno}"
 

@@ -36,6 +36,14 @@ class OperationDescriptor:
         # Normalise prev to a frozenset even if a plain iterable was passed.
         if not isinstance(self.prev, frozenset):
             object.__setattr__(self, "prev", frozenset(self.prev))
+        # Hot-path hash cache: identical value to the generated dataclass
+        # __hash__, computed once at construction (see FastReplicaCore).
+        object.__setattr__(
+            self, "_hash", hash((self.op, self.id, self.prev, self.strict))
+        )
+
+    def __hash__(self) -> int:
+        return self._hash
 
     def __str__(self) -> str:  # pragma: no cover - cosmetic
         flag = "!" if self.strict else ""

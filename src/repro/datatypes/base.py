@@ -29,6 +29,14 @@ class Operator:
     name: str
     args: Tuple[Any, ...] = field(default=())
 
+    def __post_init__(self) -> None:
+        # Hot-path hash cache: identical value to the generated dataclass
+        # __hash__, computed once at construction (see FastReplicaCore).
+        object.__setattr__(self, "_hash", hash((self.name, self.args)))
+
+    def __hash__(self) -> int:
+        return self._hash
+
     def __str__(self) -> str:  # pragma: no cover - cosmetic
         if not self.args:
             return self.name
@@ -88,6 +96,21 @@ class SerialDataType(ABC):
         """Does ``op`` leave the state unchanged for every state?
 
         Default: unknown, assume it may write.  Subclasses override.
+        """
+        return False
+
+    def state_independent(self, op: Operator) -> bool:
+        """Does ``op`` report the same value in *every* state?
+
+        When true, the value ``tau(sigma, op).v`` does not depend on
+        ``sigma`` at all — e.g. a register ``write(v)`` always reports
+        ``v``.  Such an operation can be answered from any replay of a
+        done set containing it, even one missing part of the agreed
+        prefix (the advert/pull catch-up window): whatever effects the
+        hole omits cannot change the reported value.
+
+        Default: unknown, assume the value may depend on the state.
+        Subclasses override with data-type-specific knowledge.
         """
         return False
 

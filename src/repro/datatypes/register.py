@@ -48,6 +48,10 @@ class RegisterType(SerialDataType):
     def is_read_only(self, op: Operator) -> bool:
         return op.name == "read"
 
+    def state_independent(self, op: Operator) -> bool:
+        # A write reports the value it writes, whatever the prior state.
+        return op.name == "write"
+
     def commute(self, a: Operator, b: Operator) -> bool:
         if self.is_read_only(a) or self.is_read_only(b):
             return True

@@ -4,9 +4,11 @@ Each shard is a complete, unmodified
 :class:`~repro.algorithm.system.AlgorithmSystem` managing a
 :class:`~repro.service.keyed.KeyedStore` over the base data type; the
 frontend consistent-hashes every request's key to pick the shard and mints
-globally unique operation identifiers (one per-client counter shared across
-shards), so the union of the shard traces is a well-formed multi-object
-history.
+globally unique operation identifiers (one counter per client per shard,
+under the ``client@shard`` composite identity — each shard sees one
+contiguous seqno run per client, so compacted id summaries stay at one
+interval per client), and the union of the shard traces is a well-formed
+multi-object history.
 
 Client-specified constraints (``prev`` sets) are a *per-object* notion in the
 paper, and shards are independent objects: a ``prev`` edge must therefore
@@ -32,7 +34,7 @@ from repro.common import OperationId, ensure_not_stale
 from repro.core.operations import OperationDescriptor
 from repro.datatypes.base import Operator, SerialDataType
 from repro.service.keyed import KeyedStore
-from repro.service.router import KeyspaceDirectory, ShardRouter
+from repro.service.router import KeyspaceDirectory, ShardRouter, composite_client
 
 
 class ShardedFrontend:
@@ -47,9 +49,14 @@ class ShardedFrontend:
     replicas_per_shard:
         Replicas in each group (the algorithm requires at least two).
     client_ids:
-        Clients; each shard hosts a front end for every client, and a
-        client's identifier counter is shared across shards so operation
-        identifiers stay globally unique.
+        Clients; each shard hosts a front end for every client under the
+        ``client@shard`` composite identity, and identifier counters run
+        per (client, shard) so each shard's seqnos are contiguous while
+        operation identifiers stay globally unique.
+    fast_core:
+        Use the raw-speed replay/ordering core
+        (:class:`~repro.algorithm.fastcore.FastReplicaCore`) in every
+        shard; ignored when *replica_factory* is given.
     delta_gossip / full_state_interval / incremental_replay:
         Forwarded to every shard's :class:`AlgorithmSystem`.
     compaction:
@@ -73,6 +80,7 @@ class ShardedFrontend:
         client_ids: Sequence[str] = ("c0",),
         router: Optional[ShardRouter] = None,
         replica_factory: Optional[ReplicaFactory] = None,
+        fast_core: bool = False,
         delta_gossip: bool = False,
         full_state_interval: int = 8,
         incremental_replay: bool = False,
@@ -92,12 +100,17 @@ class ShardedFrontend:
                 return compaction.get(shard)
             return compaction
 
+        # Each shard hosts front ends under the composite per-shard client
+        # identities the directory mints operation ids with: one contiguous
+        # seqno counter per (client, shard), so a shard's compacted id
+        # summary stays at one interval per client.
         self.systems: Dict[str, AlgorithmSystem] = {
             shard: AlgorithmSystem(
                 self.store_type,
                 [f"{shard}.r{i}" for i in range(replicas_per_shard)],
-                self.client_ids,
+                [composite_client(c, shard) for c in self.client_ids],
                 replica_factory=replica_factory,
+                fast_core=fast_core,
                 delta_gossip=delta_gossip,
                 full_state_interval=full_state_interval,
                 incremental_replay=incremental_replay,

@@ -121,6 +121,13 @@ class KeyedStore(SerialDataType):
             return True
         return self.base.is_read_only(self.inner_of(op))
 
+    def state_independent(self, op: Operator) -> bool:
+        # keys() reports which keys exist — state-dependent by definition;
+        # an ``at`` reports whatever its inner operator reports.
+        if op.name == "keys":
+            return False
+        return self.base.state_independent(self.inner_of(op))
+
     def commute(self, a: Operator, b: Operator) -> bool:
         # ``keys`` never changes the state, so it state-commutes with
         # everything; ``at`` operators on distinct keys touch disjoint

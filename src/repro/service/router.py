@@ -12,11 +12,12 @@ keyspace — the property every production sharded store relies on for
 rebalancing, and the one :class:`TestRouterStability` pins down.
 
 :class:`KeyspaceDirectory` layers the service-level bookkeeping on top of
-the ring: globally unique operation identifiers (per-client counters shared
-across shards), the same-shard ``prev`` validation, and the
-operation-to-shard/key records both the algorithm-level and the simulated
-sharded frontends need.  Keeping it here means the two frontends cannot
-drift apart on the routing rules.
+the ring: globally unique operation identifiers (one counter per client per
+shard, minted under the ``client@shard`` composite identity so each shard
+sees a contiguous seqno run per client), the same-shard ``prev``
+validation, and the operation-to-shard/key records both the algorithm-level
+and the simulated sharded frontends need.  Keeping it here means the two
+frontends cannot drift apart on the routing rules.
 """
 
 from __future__ import annotations
@@ -94,15 +95,29 @@ class ShardRouter:
         return f"ShardRouter({list(self.shard_ids)}, virtual_nodes={self.virtual_nodes})"
 
 
+def composite_client(client: str, shard: str) -> str:
+    """The per-shard client identity operations are minted under.
+
+    Identifier counters run per ``(client, shard)``: the seqnos one shard
+    sees from one client are contiguous, so a shard's compacted
+    :class:`~repro.algorithm.checkpoint.OpIdSummary` coalesces to one
+    interval per client instead of fragmenting across the client's
+    interleaved traffic to other shards.  Uniqueness across the service is
+    by construction — distinct shards mint under distinct composite names.
+    """
+    return f"{client}@{shard}"
+
+
 class KeyspaceDirectory:
     """Routing plus operation bookkeeping shared by the sharded frontends.
 
-    Mints globally unique identifiers (one counter per client, shared across
-    shards), validates that ``prev`` constraints stay within one shard
-    (client-specified constraints are a per-object notion, and shards are
-    independent objects; equal keys always route to equal shards, so per-key
-    chains are always legal), and records which shard and key every
-    operation went to.
+    Mints globally unique identifiers (one counter per client *per shard*,
+    under the :func:`composite_client` identity — each shard's view of a
+    client is a contiguous seqno run), validates that ``prev`` constraints
+    stay within one shard (client-specified constraints are a per-object
+    notion, and shards are independent objects; equal keys always route to
+    equal shards, so per-key chains are always legal), and records which
+    shard and key every operation went to.
     """
 
     def __init__(
@@ -113,9 +128,8 @@ class KeyspaceDirectory:
     ) -> None:
         self.router = router
         self.base_type = base_type
-        self.id_generators: Dict[str, OperationIdGenerator] = {
-            c: OperationIdGenerator(c) for c in client_ids
-        }
+        self.client_ids: Tuple[str, ...] = tuple(client_ids)
+        self.id_generators: Dict[Tuple[str, str], OperationIdGenerator] = {}
         self._shard_of_op: Dict[OperationId, str] = {}
         self._key_of_op: Dict[OperationId, str] = {}
         self._last_on_key: Dict[str, OperationId] = {}
@@ -129,7 +143,7 @@ class KeyspaceDirectory:
         strict: bool = False,
     ) -> Tuple[str, OperationDescriptor]:
         """Validate and build one keyed operation; returns ``(shard, op)``."""
-        if client not in self.id_generators:
+        if client not in self.client_ids:
             raise ConfigurationError(f"unknown client {client!r}")
         self.base_type.check_operator(operator)
         shard = self.router.shard_for(key)
@@ -145,8 +159,12 @@ class KeyspaceDirectory:
                     f"prev constraint {dep} crosses shards ({owner} -> {shard}); "
                     f"client-specified constraints only hold within one shard"
                 )
+        generator = self.id_generators.get((client, shard))
+        if generator is None:
+            generator = OperationIdGenerator(composite_client(client, shard))
+            self.id_generators[(client, shard)] = generator
         operation = make_operation(
-            KeyedStore.at(key, operator), self.id_generators[client].fresh(), prev_ids, strict
+            KeyedStore.at(key, operator), generator.fresh(), prev_ids, strict
         )
         self._shard_of_op[operation.id] = shard
         self._key_of_op[operation.id] = key

@@ -24,6 +24,7 @@ from dataclasses import dataclass
 from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 from repro.algorithm.checkpoint import CompactionLedger, CompactionPolicy
+from repro.algorithm.fastcore import FastReplicaCore
 from repro.algorithm.frontend import FrontEndCore
 from repro.algorithm.labels import label_min, label_sort_key
 from repro.algorithm.messages import GossipMessage, RequestMessage, ResponseMessage
@@ -137,6 +138,12 @@ class SimulationParams:
     #: Replicas cache their last response replay and re-apply only the
     #: changed suffix (values are unchanged; replay work drops).
     incremental_replay: bool = False
+    #: Use the raw-speed replay/ordering core
+    #: (:class:`~repro.algorithm.fastcore.FastReplicaCore`) as the default
+    #: replica variant: interned labels/ids, bitset knowledge mirrors and an
+    #: epoch-tagged replay cache — execution-identical to the base core, just
+    #: faster.  Ignored when an explicit ``replica_factory`` is supplied.
+    fast_core: bool = False
     #: Fast path: buffer gossip messages arriving at a replica within the
     #: same simulation instant and run the post-merge work (``do_it`` sweep,
     #: responses, stabilization tracking) once per instant instead of once
@@ -215,7 +222,7 @@ class SimulatedCluster:
         )
 
         self.replica_ids: Tuple[str, ...] = tuple(f"r{i}" for i in range(num_replicas))
-        factory = replica_factory or ReplicaCore
+        factory = replica_factory or (FastReplicaCore if self.params.fast_core else ReplicaCore)
         self.replicas: Dict[str, ReplicaCore] = {
             rid: factory(rid, self.replica_ids, data_type) for rid in self.replica_ids
         }
@@ -359,7 +366,9 @@ class SimulatedCluster:
             raise ConfigurationError(f"unknown client {client!r}")
         self.data_type.check_operator(operator)
         prev_ids = frozenset(prev)
-        unknown = prev_ids - set(self.requested)
+        # Membership probes against the dict, not a per-call set() of all
+        # identifiers ever requested (which made submission O(history)).
+        unknown = {p for p in prev_ids if p not in self.requested}
         if unknown:
             raise ConfigurationError(
                 f"prev references operations never requested: {sorted(map(str, unknown))}"
@@ -394,7 +403,7 @@ class SimulatedCluster:
         self.data_type.check_operator(operation.op)
         if operation.id in self.requested:
             raise ConfigurationError(f"operation identifier {operation.id} reused")
-        unknown = operation.prev - set(self.requested)
+        unknown = {p for p in operation.prev if p not in self.requested}
         if unknown:
             raise ConfigurationError(
                 f"prev references operations never requested: {sorted(map(str, unknown))}"

@@ -12,7 +12,7 @@ from __future__ import annotations
 import heapq
 import itertools
 from dataclasses import dataclass, field
-from typing import Callable, List, Optional
+from typing import Callable, List, Optional, Tuple
 
 
 @dataclass(order=True)
@@ -24,31 +24,39 @@ class _QueuedEvent:
 
 
 class EventQueue:
-    """A heap of scheduled callbacks."""
+    """A heap of scheduled callbacks.
+
+    Heap entries are plain ``(time, sequence, event)`` tuples so sift
+    comparisons run at C speed (the unique sequence number breaks every
+    timestamp tie before the event object would be compared); the ordering is
+    exactly the dataclass ordering of :class:`_QueuedEvent`.
+    """
 
     def __init__(self) -> None:
-        self._heap: List[_QueuedEvent] = []
+        self._heap: List[Tuple[float, int, _QueuedEvent]] = []
         self._counter = itertools.count()
 
     def push(self, time: float, callback: Callable[[], None]) -> _QueuedEvent:
         event = _QueuedEvent(time=time, sequence=next(self._counter), callback=callback)
-        heapq.heappush(self._heap, event)
+        heapq.heappush(self._heap, (time, event.sequence, event))
         return event
 
     def pop(self) -> Optional[_QueuedEvent]:
-        while self._heap:
-            event = heapq.heappop(self._heap)
+        heap = self._heap
+        while heap:
+            event = heapq.heappop(heap)[2]
             if not event.cancelled:
                 return event
         return None
 
     def peek_time(self) -> Optional[float]:
-        while self._heap and self._heap[0].cancelled:
-            heapq.heappop(self._heap)
-        return self._heap[0].time if self._heap else None
+        heap = self._heap
+        while heap and heap[0][2].cancelled:
+            heapq.heappop(heap)
+        return heap[0][0] if heap else None
 
     def __len__(self) -> int:
-        return sum(1 for event in self._heap if not event.cancelled)
+        return sum(1 for _time, _seq, event in self._heap if not event.cancelled)
 
     def __bool__(self) -> bool:
         return len(self) > 0

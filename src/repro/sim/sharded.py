@@ -14,9 +14,12 @@ Shards are fully independent — no messages cross shard boundaries — so total
 throughput scales with the shard count at fixed replicas-per-shard until the
 workload's key skew concentrates load (benchmark E9 measures both effects).
 
-Operation identifiers are minted by per-client counters shared across
-shards, so the aggregated ``requested`` / ``responded`` maps never collide
-and a single trace of the whole service remains well-formed.
+Operation identifiers are minted by per-(client, shard) counters under the
+``client@shard`` composite identity: the aggregated ``requested`` /
+``responded`` maps never collide, a single trace of the whole service
+remains well-formed, and each shard sees one contiguous seqno run per
+client — so a shard's compacted id summary stays at one interval per
+client.
 """
 
 from __future__ import annotations
@@ -30,7 +33,7 @@ from repro.common import ConfigurationError, OperationId, ensure_not_stale
 from repro.core.operations import OperationDescriptor
 from repro.datatypes.base import Operator, SerialDataType
 from repro.service.keyed import KeyedStore
-from repro.service.router import KeyspaceDirectory, ShardRouter
+from repro.service.router import KeyspaceDirectory, ShardRouter, composite_client
 from repro.sim.cluster import (
     ReplicaFactory,
     SimulatedCluster,
@@ -108,11 +111,13 @@ class ShardedCluster:
                 )
             return dataclasses.replace(self.params, compaction=policy)
 
+        # Front ends live under the composite per-shard client identities
+        # the directory mints ids with (contiguous seqnos per shard).
         self.shards: Dict[str, SimulatedCluster] = {
             shard: SimulatedCluster(
                 self.store_type,
                 replicas_per_shard,
-                self.client_ids,
+                [composite_client(c, shard) for c in self.client_ids],
                 params=shard_params(shard),
                 replica_factory=replica_factory,
                 simulator=self.simulator,

@@ -637,6 +637,118 @@ class TestPullCatchup:
 
 
 # --------------------------------------------------------------------------- #
+# Finer catch-up gating: state-independent values answer early                #
+# --------------------------------------------------------------------------- #
+
+
+def register_system_with_behind_replica(requests=6):
+    """Like :func:`compacted_system_with_behind_replica`, over a register."""
+    system = AlgorithmSystem(
+        RegisterType(), ["r1", "r2", "r3"], ["alice"],
+        compaction=CompactionPolicy(min_batch=1),
+        advert_gossip=True, checkpoint_chunk=2,
+    )
+    system.replicas["r3"].configure_compaction(enabled=False)
+    gen = OperationIdGenerator("alice")
+    rng = random.Random(5)
+    for index in range(requests):
+        system.request(make_operation(RegisterType.write(index), gen.fresh()))
+    system.run_random(rng, steps=400)
+    system.drain(rng)
+    assert system.replicas["r1"].checkpoint.count == requests
+    assert system.replicas["r3"].checkpoint.count == 0
+    system.replicas["r3"].crash(volatile_memory=True)
+    system.replicas["r3"].recover_from_stable_storage()
+    return system, gen, rng
+
+
+class TestCatchupStateIndependentGating:
+    """The catch-up response gate refuses only what it must: an operation
+    whose reported value is the same in every state (a register write) is
+    answerable from the holed local replay, because the missing prefix
+    cannot change what it reports.  Everything state-dependent still waits
+    for the pull — the PR 4 wrong-value hazard."""
+
+    def test_predicate_per_data_type(self):
+        from repro.service.keyed import KeyedStore
+
+        register = RegisterType()
+        assert register.state_independent(RegisterType.write(3))
+        assert not register.state_independent(RegisterType.read())
+        counter = CounterType()
+        assert not counter.state_independent(CounterType.increment())
+        store = KeyedStore(register)
+        assert store.state_independent(
+            KeyedStore.at("k", RegisterType.write(3)))
+        assert not store.state_independent(
+            KeyedStore.at("k", RegisterType.read()))
+        assert not store.state_independent(KeyedStore.keys_op())
+
+    def catching_up_with_done_op(self, system, gen, operator):
+        """Put r3 into catch-up, then hand it one fresh done operation."""
+        r3 = system.replicas["r3"]
+        system.send_gossip("r1", "r3")
+        deliver_all(system, ("r1", "r3"))
+        assert r3.catching_up()
+        op = make_operation(operator, gen.fresh())
+        system.request(op)
+        system.send_request("alice", "r3", op)
+        system.receive_request("alice", "r3")
+        r3.do_all_ready()
+        assert op in r3.done_here()
+        return r3, op
+
+    def test_write_is_answered_during_catchup(self):
+        system, gen, rng = register_system_with_behind_replica()
+        r3, op = self.catching_up_with_done_op(
+            system, gen, RegisterType.write("fresh"))
+        assert r3.catching_up()
+        assert r3.response_ready(op)
+        system.send_response("r3", op)
+        for message in system.response_channels[("r3", "alice")].contents():
+            system.receive_response("r3", "alice", message)
+        assert system.response(op) == "fresh"
+        # Early answering must not weaken the compaction gate.
+        r3.configure_compaction(CompactionPolicy(min_batch=1))
+        assert r3.maybe_compact(force=True) == 0
+        system.drain(rng)
+        assert not r3.catching_up()
+        AlgorithmInvariantChecker(system).check_all()
+        check_system_trace(system)
+
+    def test_read_still_refuses_during_catchup(self):
+        system, gen, rng = register_system_with_behind_replica()
+        r3, op = self.catching_up_with_done_op(system, gen, RegisterType.read())
+        assert not r3.response_ready(op)
+        system.drain(rng)
+        assert not r3.catching_up()
+        assert op.id in system.users.responded
+        AlgorithmInvariantChecker(system).check_all()
+
+    def test_strict_write_still_waits_for_stability(self):
+        system, gen, _rng = register_system_with_behind_replica()
+        r3 = system.replicas["r3"]
+        system.send_gossip("r1", "r3")
+        deliver_all(system, ("r1", "r3"))
+        op = make_operation(RegisterType.write("s"), gen.fresh(), strict=True)
+        system.request(op)
+        system.send_request("alice", "r3", op)
+        system.receive_request("alice", "r3")
+        r3.do_all_ready()
+        # Done only here: the strict gate (stable everywhere) still applies
+        # on the state-independent early path.
+        assert op in r3.done_here()
+        assert not r3.response_ready(op)
+
+    def test_counter_increment_still_refuses_during_catchup(self):
+        # The original PR 4 hazard: an increment reports the post-state.
+        system, gen, _rng = compacted_system_with_behind_replica()
+        r3, op = self.catching_up_with_done_op(
+            system, gen, CounterType.increment())
+        assert not r3.response_ready(op)
+
+
+# --------------------------------------------------------------------------- #
 # Simulated cluster: twins, crash recovery, lossy catch-up                    #
 # --------------------------------------------------------------------------- #
 

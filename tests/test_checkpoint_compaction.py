@@ -736,6 +736,13 @@ class TestServiceLayerCompaction:
             core.checkpoint.count for core in frontend.systems["s0"].replicas.values()
         )
         assert compacted > 0
+        # Ids are minted per (client, shard), so a shard's compacted prefix
+        # is a contiguous per-client seqno run: the summary holds at most
+        # one interval per client, not one fragment per interleaving.
+        for core in frontend.systems["s0"].replicas.values():
+            if core.checkpoint.count:
+                intervals = sum(len(iv) for iv in core.checkpoint.ids.ranges.values())
+                assert intervals <= len(frontend.client_ids)
 
     def test_sharded_cluster_accepts_per_shard_disable(self):
         """Mapping a shard to ``None`` disables compaction there even when
@@ -774,3 +781,12 @@ class TestServiceLayerCompaction:
         compacted.check_invariants()
         compacted.check_traces()
         assert compacted.metrics.peak_tracked_ops() <= plain.metrics.peak_tracked_ops()
+        # Per-(client, shard) minting keeps every shard's compacted id
+        # summary at O(clients) intervals (here: at most one per client).
+        for shard in compacted.shards.values():
+            for core in shard.replicas.values():
+                if core.checkpoint.count:
+                    intervals = sum(
+                        len(iv) for iv in core.checkpoint.ids.ranges.values()
+                    )
+                    assert intervals <= len(compacted.client_ids)

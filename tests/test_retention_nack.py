@@ -248,9 +248,12 @@ class TestSimulatedNackSurfacing:
         op = frontend.request("alice", "hot-key", CounterType.increment())
         shard = frontend.shard_of_operation(op.id)
         system = frontend.systems[shard]
+        # Shard-level front ends live under the composite per-shard client
+        # identity the directory mints ids with ("alice@<shard>").
+        client = op.id.client
         replicas = list(system.replica_ids)
-        system.send_request("alice", replicas[0], op)
-        system.receive_request("alice", replicas[0], rng=random.Random(0))
+        system.send_request(client, replicas[0], op)
+        system.receive_request(client, replicas[0], rng=random.Random(0))
         system.replicas[replicas[0]].do_all_ready()
         system.send_response(replicas[0], op)  # lost
         for _ in range(3):
@@ -262,11 +265,11 @@ class TestSimulatedNackSurfacing:
                     for message in system.gossip_channels[(src, dst)].contents():
                         system.receive_gossip(src, dst, message)
         for replica in replicas:
-            system.send_request("alice", replica, op)
-            system.receive_request("alice", replica, rng=random.Random(0))
-            for message in system.response_channels[(replica, "alice")].contents():
+            system.send_request(client, replica, op)
+            system.receive_request(client, replica, rng=random.Random(0))
+            for message in system.response_channels[(replica, client)].contents():
                 if message.stale:
-                    system.receive_response(replica, "alice", message)
+                    system.receive_response(replica, client, message)
         assert frontend.failed[op.id] == "stale-value"
         assert frontend.outstanding_operations() == 0
         with pytest.raises(StaleValueError):

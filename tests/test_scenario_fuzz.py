@@ -246,6 +246,40 @@ def test_random_scenarios_with_advert_pull_gossip(seed, delta_gossip):
             assert message.advert is not None
 
 
+def _fast_core(rng, params):
+    return dataclasses.replace(params, fast_core=True)
+
+
+def _fast_core_advert(rng, params):
+    return dataclasses.replace(_advert_pull(rng, params), fast_core=True)
+
+
+@pytest.mark.parametrize(
+    "tweak", [_fast_core, _fast_core_advert], ids=["plain", "advert-compact"]
+)
+@pytest.mark.parametrize("delta_gossip", [False, True], ids=["full", "delta"])
+@pytest.mark.parametrize("seed", COMPACTION_SEEDS)
+def test_random_scenarios_with_fast_core(seed, delta_gossip, tweak):
+    """The corpus seeds re-run on :class:`FastReplicaCore` — plain, and
+    layered over the aggressive-compaction + advert/pull tweak (the paths
+    where the interned tables are remapped by folds and the bitset knowledge
+    maps absorb interval summaries).  The fast core is an optimization, not a
+    semantic change, so every oracle must hold exactly as for the base core."""
+    from repro.algorithm.fastcore import FastReplicaCore
+
+    mode = "delta" if delta_gossip else "full"
+    kind = "fast" if tweak is _fast_core else "fast-advert"
+    spec = random_sim_spec(
+        f"fuzz-{kind}-{mode}-{seed:03d}", seed, delta_gossip, params_tweak=tweak
+    )
+    assert spec.params.fast_core
+    run, _results = run_checked(spec)
+    expected = spec.workload["operations_per_client"] * len(spec.clients)
+    assert run.workload_result.submitted == expected
+    for replica in run.clusters[UNSHARDED].replicas.values():
+        assert isinstance(replica, FastReplicaCore)
+
+
 @pytest.mark.parametrize("delta_gossip", [False, True], ids=["full", "delta"])
 @pytest.mark.parametrize("seed", COMPACTION_SEEDS)
 def test_random_scenarios_with_extended_fault_mix(seed, delta_gossip):
