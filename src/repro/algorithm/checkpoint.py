@@ -63,6 +63,50 @@ from repro.common import ConfigurationError, InvariantViolation, OperationId
 from repro.core.operations import OperationDescriptor
 
 
+#: Seed of the chained fold-order digest — the digest of "nothing folded yet".
+GENESIS_ORDER_DIGEST = "0" * 16
+
+
+def chain_order_digest(digest: str, op_ids: Iterable[OperationId]) -> str:
+    """Extend the chained fold-order digest by *op_ids*, one link per
+    operation.
+
+    Chaining per operation makes the digest independent of batch boundaries:
+    every replica folding the same identifiers in the same order reaches the
+    same digest regardless of how its compaction ticks sliced the work, and
+    any disagreement in the fold *order* — not just the folded set —
+    produces a different digest from the first diverging position onward.
+    """
+    for op_id in op_ids:
+        material = f"{digest}|{op_id.client}#{op_id.seqno}"
+        digest = hashlib.sha256(material.encode("utf-8")).hexdigest()[:16]
+    return digest
+
+
+def canonical_repr(value: Any) -> str:
+    """A construction-order-independent ``repr`` for digest material.
+
+    ``repr`` of a set leaks hash-table insertion history: ``{9, 1}`` and
+    ``{1, 9}`` are equal but can print differently (9 and 1 collide in a
+    small table, so whichever was inserted first wins the slot).  Two sides
+    of a serialization boundary rebuild equal sets in different orders —
+    the checkpoint-transfer receiver recomputes the content digest over
+    *decoded* values, and a raw-``repr`` digest would brand every legitimate
+    set-valued payload as corrupted.  Containers are therefore rendered with
+    sorted, recursively canonical elements; everything else keeps ``repr``.
+    """
+    if isinstance(value, frozenset):
+        return "frozenset{" + ",".join(sorted(map(canonical_repr, value))) + "}"
+    if isinstance(value, set):
+        return "set{" + ",".join(sorted(map(canonical_repr, value))) + "}"
+    if isinstance(value, tuple):
+        return "(" + ",".join(map(canonical_repr, value)) + ",)"
+    if isinstance(value, dict):
+        pairs = (f"{canonical_repr(k)}:{canonical_repr(v)}" for k, v in value.items())
+        return "{" + ",".join(sorted(pairs)) + "}"
+    return repr(value)
+
+
 def _evict_oldest(values: Dict[OperationId, Any], retention: Optional[int]) -> Dict[OperationId, Any]:
     """Bound an insertion-ordered (oldest-first) value ledger in place."""
     if retention is not None:
@@ -195,18 +239,22 @@ class CheckpointAdvert:
 
     It carries exactly the knowledge a peer needs to decide whether it is
     caught up: the frontier label, a content digest (to match a later
-    transfer against), and the per-client interval summary of the folded
-    identifiers.  A receiver that still tracks (or has itself compacted)
-    every advertised identifier learns their everywhere-stability from the
-    advert alone; a receiver missing any of them must *pull* the checkpoint
-    body.  Crucially the advert's wire size is ``O(clients)`` in steady
-    state — independent of the history length and of the retained-value
-    ledger the body drags along.
+    transfer against), the chained fold-order digest (so a receiver can
+    verify its *own* would-be fold order against the advertiser's before
+    absorbing the stability assertion — see
+    ``ReplicaCore._absorb_coverage``), and the per-client interval summary
+    of the folded identifiers.  A receiver that still tracks (or has itself
+    compacted) every advertised identifier learns their
+    everywhere-stability from the advert alone; a receiver missing any of
+    them must *pull* the checkpoint body.  Crucially the advert's wire size
+    is ``O(clients)`` in steady state — independent of the history length
+    and of the retained-value ledger the body drags along.
     """
 
     frontier: Label
     digest: str
     ids: OpIdSummary
+    order_digest: str = GENESIS_ORDER_DIGEST
 
     @property
     def count(self) -> int:
@@ -239,6 +287,11 @@ class Checkpoint:
     frontier: Optional[Label]
     ids: OpIdSummary
     values: Mapping[OperationId, Any]
+    #: Chained digest of the fold order (one link per folded operation, see
+    #: :func:`chain_order_digest`).  Batch-boundary independent: replicas
+    #: that folded the same agreed prefix hold the same value however their
+    #: compaction ticks sliced it.
+    order_digest: str = GENESIS_ORDER_DIGEST
 
     @classmethod
     def empty(cls, initial_state: Any) -> "Checkpoint":
@@ -282,6 +335,9 @@ class Checkpoint:
                 frontier=frontier,
                 ids=self.ids.with_ids(x.id for x in prefix),
                 values=values,
+                order_digest=chain_order_digest(
+                    self.order_digest, (x.id for x in prefix)
+                ),
             ),
             applications,
         )
@@ -319,10 +375,12 @@ class Checkpoint:
             self.frontier,
             sorted(self.ids.ranges.items()),
             self.count,
-            repr(self.base_state),
+            canonical_repr(self.base_state),
             tuple(
-                (repr(op_id), repr(self.values[op_id])) for op_id in sorted(self.values)
+                (repr(op_id), canonical_repr(self.values[op_id]))
+                for op_id in sorted(self.values)
             ),
+            self.order_digest,
         ))
         return hashlib.sha256(material.encode("utf-8")).hexdigest()[:16]
 
@@ -340,7 +398,12 @@ class Checkpoint:
     def _advert(self) -> Optional[CheckpointAdvert]:
         if self.frontier is None:
             return None
-        return CheckpointAdvert(frontier=self.frontier, digest=self.digest(), ids=self.ids)
+        return CheckpointAdvert(
+            frontier=self.frontier,
+            digest=self.digest(),
+            ids=self.ids,
+            order_digest=self.order_digest,
+        )
 
     def advert(self) -> Optional[CheckpointAdvert]:
         """The compact advert for this checkpoint (``None`` while empty)."""

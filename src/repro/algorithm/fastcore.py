@@ -383,6 +383,16 @@ class FastReplicaCore(ReplicaCore):
         elif message.advert is not None:
             self._consider_advert(sender, message.advert)
 
+        if not self._delta_basis_trusted(message):
+            # Stale-basis delta after our volatile crash — same refusal as the
+            # base class: keep the self-contained attachments, drop the
+            # payload, and do not acknowledge the seqno.
+            self.stats.stale_basis_deltas_skipped += 1
+            self._record_gossip_bookkeeping(message, merged=False)
+            self.stats.gossip_received += 1
+            self._post_merge()
+            return
+
         received = message.received
         done = message.done | message.stable
         stable = message.stable
@@ -663,7 +673,8 @@ class FastReplicaCore(ReplicaCore):
         # conveys nothing new.  The stable prefix is totally ordered, so an
         # equal-or-smaller frontier means an equal-or-smaller id set; both
         # callers (`_merge_checkpoint`, `_consider_advert`/`_refresh_await`)
-        # react to ``(set(), 0)`` with an idempotent no-op re-marking.
+        # treat ``(set(), 0)`` as already absorbed (`_absorb_coverage`
+        # accepts an empty tracked set without re-verifying the order).
         frontier = coverage.frontier
         absorbed = self._absorbed_frontier
         if absorbed is not None and label_sort_key(frontier) <= label_sort_key(absorbed):
@@ -697,11 +708,14 @@ class FastReplicaCore(ReplicaCore):
                         tracked.add(x)
                     else:
                         missing += 1
-        if missing == 0:
-            # Both callers mark `tracked` stable-everywhere immediately on a
-            # zero-missing result, completing the absorption.
-            self._absorbed_frontier = frontier
         return tracked, missing
+
+    def _note_coverage_absorbed(self, frontier) -> None:
+        # Memoize only once the absorption actually happened — a
+        # zero-missing scan can still be refused by the fold-order check
+        # (`_absorb_coverage`), and a refused coverage must be re-examined
+        # by every subsequent advert until the body is adopted.
+        self._absorbed_frontier = frontier
 
     def _on_checkpoint_adopted(self) -> None:
         self._absorbed_frontier = None

@@ -116,6 +116,10 @@ class GossipMessage:
       receiver that is behind pulls the body on demand instead of having it
       shipped eagerly, so the steady-state payload stays bounded.  At most
       one of ``checkpoint`` / ``advert`` is set.
+    * ``sent_at`` — the sender's *local-clock* send timestamp, stamped by the
+      transport.  Purely observational (lag metrics, the clock-skew
+      adversary): the algorithm is asynchronous and never reads it, so a
+      skewed or absent timestamp cannot affect correctness.
     """
 
     sender: str
@@ -133,6 +137,7 @@ class GossipMessage:
     basis: Optional[GossipSnapshot] = None
     checkpoint: Optional[Checkpoint] = None
     advert: Optional[CheckpointAdvert] = None
+    sent_at: Optional[float] = None
 
     @property
     def kind(self) -> str:
@@ -275,6 +280,11 @@ class CheckpointTransferMessage:
     chunk_index: int
     chunk_count: int
     base_state: Any = None
+    #: The checkpoint's chained fold-order digest, repeated on every chunk
+    #: like the rest of the transfer identity (the assembled checkpoint's
+    #: content digest covers it, so a corrupted value is rejected with the
+    #: body).
+    order_digest: str = ""
 
     @property
     def kind(self) -> str:
@@ -322,6 +332,7 @@ def checkpoint_transfers(
             chunk_index=index,
             chunk_count=len(slices),
             base_state=checkpoint.base_state if index == len(slices) - 1 else None,
+            order_digest=checkpoint.order_digest,
         )
         for index, values in enumerate(slices)
     ]

@@ -50,7 +50,12 @@ from bisect import bisect_right
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Sequence, Set, Tuple
 
-from repro.algorithm.checkpoint import Checkpoint, CheckpointAdvert, CompactionPolicy
+from repro.algorithm.checkpoint import (
+    Checkpoint,
+    CheckpointAdvert,
+    CompactionPolicy,
+    chain_order_digest,
+)
 from repro.algorithm.delta import GossipSnapshot, PeerInState, PeerOutState
 from repro.algorithm.labels import Label, LabelGenerator, LabelOrInfinity, label_min, label_sort_key
 from repro.algorithm.messages import (
@@ -96,6 +101,7 @@ class TransferAssembly:
             frontier=final.frontier,
             ids=final.ids,
             values=values,
+            order_digest=final.order_digest,
         )
 
 
@@ -125,6 +131,15 @@ class ReplicaStats:
     #: content digest did not match the one the chunks were sent under
     #: (corruption in flight); each rejection is healed by a later re-pull.
     transfer_rejections: int = 0
+    #: Coverage absorptions refused because this replica's would-be fold
+    #: order did not reproduce the compactor's chained ``order_digest``
+    #: (post-crash mislabelled copies); each refusal routes through the
+    #: pull/adopt path instead.
+    coverage_order_mismatches: int = 0
+    #: Delta payloads discarded after a volatile crash because the sender's
+    #: delta basis rested on acknowledgements issued by this replica's
+    #: previous incarnation (see :meth:`ReplicaCore.receive_gossip`).
+    stale_basis_deltas_skipped: int = 0
 
     def total_applications(self) -> int:
         return self.value_applications + self.memoized_applications
@@ -136,9 +151,10 @@ class ReplicaCore:
 
     The surrounding harness (the action-level system driver in
     :mod:`repro.algorithm.system`, the discrete-event simulator in
-    :mod:`repro.sim`, or the asyncio runtime in :mod:`repro.net`) decides
-    *when* each step runs; this class implements the preconditions and
-    effects.
+    :mod:`repro.sim`, or the asyncio TCP runtime of
+    :class:`repro.net.runtime.NetCluster`, which speaks the binary wire
+    codec of :mod:`repro.net.codec`) decides *when* each step runs; this
+    class implements the preconditions and effects.
     """
 
     def __init__(
@@ -175,6 +191,13 @@ class ReplicaCore:
         self.full_state_interval: int = 8
         self._peer_out: Dict[str, PeerOutState] = {}
         self._peer_in: Dict[str, PeerInState] = {}
+        #: Peers whose delta gossip cannot be trusted yet because this
+        #: replica crashed with volatile memory: until a peer demonstrates a
+        #: post-crash basis (any full-state message), its deltas may be
+        #: computed against acknowledgements the previous incarnation issued
+        #: for knowledge that no longer exists here, and merging them could
+        #: absorb stability for operations sitting above an invisible gap.
+        self._unsynced_peers: Set[str] = set()
 
         #: Advert/pull gossip configuration: with it enabled, gossip carries
         #: a compact checkpoint advert instead of the checkpoint body, and a
@@ -793,6 +816,24 @@ state_independent`: its tracked history has a hole below the awaited
         elif message.advert is not None:
             self._consider_advert(sender, message.advert)
 
+        if not self._delta_basis_trusted(message):
+            # The sender has not yet observed our post-crash incarnation: its
+            # delta was computed against acknowledgements we issued before
+            # losing our volatile state, so it can silently omit operations
+            # (and their labels) that we no longer hold while still asserting
+            # stability for operations ordered after them.  Merging such a
+            # payload can convince us to compact a prefix with a hole in it.
+            # Discard the payload (the self-contained checkpoint/advert above
+            # were still processed) and do not acknowledge the seqno: the
+            # unacked knowledge stays in the sender's window and is re-sent —
+            # at the latest as the full state it falls back to once it sees
+            # our bumped epoch or our ack regression.
+            self.stats.stale_basis_deltas_skipped += 1
+            self._record_gossip_bookkeeping(message, merged=False)
+            self.stats.gossip_received += 1
+            self._post_merge()
+            return
+
         checkpoint = self.checkpoint
         if checkpoint.count:
             received = {x for x in message.received if not checkpoint.covers(x.id)}
@@ -846,8 +887,27 @@ state_independent`: its tracked history has a hole below the awaited
         if self.compaction is not None:
             self.maybe_compact()
 
-    def _record_gossip_bookkeeping(self, message: GossipMessage) -> None:
-        """Advance the delta-gossip seqno/ack/epoch state for one receipt."""
+    def _delta_basis_trusted(self, message: GossipMessage) -> bool:
+        """Whether a gossip payload's basis is sound to merge.
+
+        Full-state payloads are self-contained and always trusted; a trusted
+        full state also re-synchronises the sender after our own volatile
+        crash.  A delta is only trusted once the sender has demonstrated a
+        post-crash basis, because the acknowledgements our previous
+        incarnation issued described knowledge that was wiped."""
+        sender = message.sender
+        if not message.is_delta:
+            self._unsynced_peers.discard(sender)
+            return True
+        return sender not in self._unsynced_peers
+
+    def _record_gossip_bookkeeping(self, message: GossipMessage,
+                                   merged: bool = True) -> None:
+        """Advance the delta-gossip seqno/ack/epoch state for one receipt.
+
+        With ``merged=False`` (a skipped stale-basis delta) the seqno is not
+        recorded: acknowledging a payload we discarded would let the sender
+        drop that knowledge from every future delta."""
         sender = message.sender
         in_state = self._peer_in.setdefault(sender, PeerInState(epoch=message.epoch))
         if message.epoch > in_state.epoch:
@@ -859,7 +919,7 @@ state_independent`: its tracked history has a hole below the awaited
             in_state.reset(message.epoch)
             self._peer_out.setdefault(sender, PeerOutState()).reset()
             self._transfer_in.pop(sender, None)
-        if message.seqno is not None and message.epoch == in_state.epoch:
+        if merged and message.seqno is not None and message.epoch == in_state.epoch:
             in_state.record_receipt(message.stream, message.seqno,
                                     is_full=not message.is_delta)
         out = self._peer_out.setdefault(sender, PeerOutState())
@@ -1001,23 +1061,60 @@ state_independent`: its tracked history has a hole below the awaited
             self.stable[i] |= tracked
         self._state_version += 1
 
+    def _absorb_coverage(self, coverage, tracked: Set[OperationDescriptor]) -> bool:
+        """Absorb *coverage*'s everywhere-stability assertion — but only
+        after verifying that folding the still-tracked covered operations
+        onto our own checkpoint in **our** label order reproduces the
+        compactor's chained fold order (``order_digest``).
+
+        The assertion alone names identifiers, not labels.  In normal
+        operation knowing "done at ``i``" implies having merged ``i``'s
+        label, so every replica that reaches everywhere-stability holds the
+        agreed minimum and folds the same order.  A volatile crash breaks
+        that implication: the recovered replica can re-learn (or re-do,
+        via retransmission) every covered operation yet hold labels that
+        are *not* the agreed minima — its merged-label knowledge was
+        volatile, and peers that already compacted those operations can
+        never re-teach it.  Folding by those labels would break the
+        stable-prefix agreement (Invariant 7.2), so on a digest mismatch
+        this returns ``False`` and the caller must pull/adopt the body,
+        which replaces the mislabelled copies wholesale.
+        """
+        if not tracked:
+            return True  # nothing new to absorb (nested or already-absorbed)
+        ordered = sorted(tracked, key=lambda x: label_sort_key(self.label_of(x.id)))
+        simulated = chain_order_digest(
+            self.checkpoint.order_digest, (x.id for x in ordered)
+        )
+        if simulated != coverage.order_digest:
+            self.stats.coverage_order_mismatches += 1
+            return False
+        self._mark_coverage_stable(tracked)
+        self._note_coverage_absorbed(coverage.frontier)
+        return True
+
+    def _note_coverage_absorbed(self, frontier: Label) -> None:
+        """Hook: a coverage up to *frontier* was verified and fully absorbed
+        (the fast core memoizes this to skip re-scanning nested adverts)."""
+
     def _consider_advert(self, sender: str, advert: CheckpointAdvert) -> None:
         """Staleness detection against a received checkpoint advert.
 
         When everything the advert covers is still tracked (or compacted)
-        here, the advert alone conveys the stability knowledge the body
-        would have — no transfer needed, which is the steady-state path that
-        keeps the wire payload flat.  Otherwise this replica is behind the
-        advertised frontier (crash recovery, late join): it queues a pull
-        request toward the advertiser and enters catch-up (see ``_await``);
-        the queue entry survives lost pulls and transfers because every
-        subsequent advert re-runs this check.
+        here *and* our would-be fold order matches the advertised
+        ``order_digest`` (see :meth:`_absorb_coverage`), the advert alone
+        conveys the stability knowledge the body would have — no transfer
+        needed, which is the steady-state path that keeps the wire payload
+        flat.  Otherwise this replica is behind the advertised frontier or
+        holds mislabelled copies (crash recovery, late join): it queues a
+        pull request toward the advertiser and enters catch-up (see
+        ``_await``); the queue entry survives lost pulls and transfers
+        because every subsequent advert re-runs this check.
         """
         if advert.count == 0 or not self._behind_frontier(advert.frontier):
             return
         tracked, missing = self._coverage_position(advert)
-        if missing == 0:
-            self._mark_coverage_stable(tracked)
+        if missing == 0 and self._absorb_coverage(advert, tracked):
             self._refresh_await()
         else:
             self._pull_queue[sender] = advert
@@ -1059,8 +1156,7 @@ state_independent`: its tracked history has a hole below the awaited
             self._await = None
             return
         tracked, missing = self._coverage_position(self._await)
-        if missing == 0:
-            self._mark_coverage_stable(tracked)
+        if missing == 0 and self._absorb_coverage(self._await, tracked):
             self._await = None
             # The hole closed through ordinary gossip (no adoption ran):
             # derived state computed against the holed history — the
@@ -1153,10 +1249,14 @@ state_independent`: its tracked history has a hole below the awaited
         if assembled.digest() != assembly.digest:
             # The body was corrupted in flight: the chunks were sent under
             # the sender's content digest, and the checkpoint reassembled
-            # from them no longer hashes to it.  Discard the assembly — we
-            # are still behind, so the next advert showing this (or any)
-            # peer ahead re-queues the pull and the transfer is retried.
+            # from them no longer hashes to it.  Discard the assembly and
+            # re-queue the pull right away: waiting for the next advert is
+            # not enough on its own — a cluster that has quiesced (or one
+            # whose compaction stopped advancing) may never advertise again,
+            # and a corrupted *final* transfer would strand the catch-up.
             self.stats.transfer_rejections += 1
+            if self._await is not None:
+                self._pull_queue[message.sender] = self._await
             return
         self._merge_checkpoint(assembled)
         self._post_merge()
@@ -1166,19 +1266,19 @@ state_independent`: its tracked history has a hole below the awaited
         attaches it to messages; advert/pull delivers it via transfers).
 
         The checkpoint asserts that everything it covers is stable at every
-        replica.  If we still track all of its operations we simply record
-        that stability (and let our own policy fold them); if some are
-        missing — we are recovering from a crash with volatile memory, or
-        joined a stream late — we adopt the checkpoint wholesale as our new
-        base instead of waiting for a full-history replay that compacted
-        peers can no longer send.
+        replica.  If we still track all of its operations *and* our fold
+        order matches its ``order_digest`` (:meth:`_absorb_coverage`) we
+        simply record that stability (and let our own policy fold them); if
+        some are missing or our labels disagree — we are recovering from a
+        crash with volatile memory, or joined a stream late — we adopt the
+        checkpoint wholesale as our new base instead of waiting for a
+        full-history replay that compacted peers can no longer send.
         """
         ours = self.checkpoint
         if incoming.count == 0 or not self._behind_frontier(incoming.frontier):
             return  # nested checkpoints: ours already covers the incoming one
         tracked, missing = self._coverage_position(incoming)
-        if missing == 0:
-            self._mark_coverage_stable(tracked)
+        if missing == 0 and self._absorb_coverage(incoming, tracked):
             self._refresh_await()
             return
         if not ours.ids.issubset(incoming.ids):  # pragma: no cover - defensive
@@ -1192,6 +1292,7 @@ state_independent`: its tracked history has a hole below the awaited
             frontier=incoming.frontier,
             ids=incoming.ids,
             values=ours.merged_values(incoming.values, retention),
+            order_digest=incoming.order_digest,
         )
         covers = self.checkpoint.covers
         self.rcvd = {x for x in self.rcvd if not covers(x.id)}
@@ -1297,6 +1398,9 @@ state_independent`: its tracked history has a hole below the awaited
         self._epoch += 1
         self._peer_out = {}
         self._peer_in = {}
+        # Until a peer shows us a post-crash basis (a full-state message),
+        # its deltas may rest on acks our previous incarnation issued.
+        self._unsynced_peers = {i for i in self.replica_ids if i != self.replica_id}
         self._pull_queue = {}
         self._transfer_in = {}
         self._await = None

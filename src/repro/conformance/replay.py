@@ -39,7 +39,10 @@ from repro.conformance.scenario import (
 
 
 def replay_doc(
-    doc: Dict[str, Any], source: str = "<vector>", oracles_only: bool = False
+    doc: Dict[str, Any],
+    source: str = "<vector>",
+    oracles_only: bool = False,
+    runtime: str = "sim",
 ) -> ScenarioOutcome:
     """Re-execute a sealed vector document and check it.
 
@@ -47,10 +50,14 @@ def replay_doc(
     fresh execution; unless *oracles_only* (or the vector carries no
     expectation), also asserts equality with the recorded outcome.  Returns
     the observed outcome; raises :class:`ConformanceError` on any failure.
+
+    ``runtime="net"`` replays on the :class:`~repro.net.wire.WireCluster`
+    twin so every message crosses the binary codec — the recorded outcome
+    (taken on the plain simulator) must still match exactly.
     """
     verify_sealed(doc, source)
     spec = ScenarioSpec.from_doc(doc["scenario"])
-    run = run_scenario(spec)
+    run = run_scenario(spec, runtime=runtime)
     observed = collect_outcome(run)  # runs the full oracle suite
     expected_doc = doc.get("expected")
     if expected_doc is not None and not oracles_only:
@@ -64,9 +71,11 @@ def replay_doc(
     return observed
 
 
-def replay_path(path: Path, oracles_only: bool = False) -> ScenarioOutcome:
+def replay_path(
+    path: Path, oracles_only: bool = False, runtime: str = "sim"
+) -> ScenarioOutcome:
     doc = loads_vector(path.read_text(encoding="utf-8"), str(path))
-    return replay_doc(doc, str(path), oracles_only=oracles_only)
+    return replay_doc(doc, str(path), oracles_only=oracles_only, runtime=runtime)
 
 
 def verify_digest_path(path: Path) -> None:
@@ -123,6 +132,13 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         action="store_true",
         help="re-run the oracle suite but skip the recorded-outcome comparison",
     )
+    parser.add_argument(
+        "--runtime",
+        choices=("sim", "net"),
+        default="sim",
+        help="replay harness: plain simulator, or the wire-codec twin "
+        "(every message encoded/decoded through repro.net.codec)",
+    )
     parser.add_argument("--quiet", action="store_true", help="only report failures")
     args = parser.parse_args(argv)
 
@@ -138,7 +154,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             if args.digests_only:
                 verify_digest_path(path)
             else:
-                replay_path(path, oracles_only=args.oracles_only)
+                replay_path(path, oracles_only=args.oracles_only, runtime=args.runtime)
         except Exception as exc:  # report every failure, then exit non-zero
             failures += 1
             print(f"FAIL {path}: {exc}", file=sys.stderr)

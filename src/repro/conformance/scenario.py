@@ -174,12 +174,29 @@ class ScenarioRun:
     workload_result: Any = None
 
 
-def build_scenario(spec: ScenarioSpec) -> ScenarioRun:
+def _cluster_class(runtime: str) -> type:
+    """The per-group cluster class for *runtime*: the plain simulator, or the
+    :class:`~repro.net.wire.WireCluster` twin that pushes every message
+    through the binary codec (``--runtime=net``).  Late import: conformance
+    must not depend on ``repro.net`` unless asked to."""
+    if runtime == "sim":
+        return SimulatedCluster
+    if runtime == "net":
+        from repro.net.wire import WireCluster
+
+        return WireCluster
+    raise ConformanceError(f"unknown runtime {runtime!r}")
+
+
+def build_scenario(spec: ScenarioSpec, runtime: str = "sim") -> ScenarioRun:
     """Instantiate the harness and install the fault schedule (scenario not
-    yet run)."""
+    yet run).  ``runtime="net"`` swaps every cluster for the wire-codec twin
+    — same seeds, same schedule, every message round-tripped through
+    :mod:`repro.net.codec` — so replay mismatches isolate codec loss."""
     type_factory, _mix = DATA_TYPES[spec.data_type]
+    cluster_class = _cluster_class(runtime)
     if spec.harness == "sim":
-        cluster = SimulatedCluster(
+        cluster = cluster_class(
             type_factory(),
             spec.num_replicas,
             list(spec.clients),
@@ -199,6 +216,7 @@ def build_scenario(spec: ScenarioSpec) -> ScenarioRun:
         client_ids=list(spec.clients),
         params=spec.params,
         seed=spec.seed,
+        cluster_class=cluster_class,
     )
     schedules = []
     for shard_id, shard in cluster.shards.items():
@@ -211,11 +229,11 @@ def build_scenario(spec: ScenarioSpec) -> ScenarioRun:
     return ScenarioRun(spec, cluster, dict(cluster.shards), schedules)
 
 
-def run_scenario(spec: ScenarioSpec) -> ScenarioRun:
+def run_scenario(spec: ScenarioSpec, runtime: str = "sim") -> ScenarioRun:
     """Build and execute *spec*: run the workload, let every fault window
     end, then drain the network to idle (the standard schedule the fuzzer
     and the generator share)."""
-    run = build_scenario(spec)
+    run = build_scenario(spec, runtime=runtime)
     _type_factory, mix = DATA_TYPES[spec.data_type]
     if spec.harness == "sim":
         workload = WorkloadSpec(operator_factory=mix, **spec.workload)

@@ -70,6 +70,74 @@ def _tamper_transfer(message):
     return replace(message, base_state=(CORRUPTION_MARKER, message.base_state))
 
 
+def eventual_order_of(cluster) -> List[OperationId]:
+    """Identifiers of all requested operations ordered by system-wide
+    minimum label (unlabelled operations last, deterministically).
+
+    The compacted stable prefix comes first in its agreed (ledger) order:
+    the labels below the frontier are deliberately forgotten, and every
+    tracked label exceeds them.
+
+    Duck-typed over any harness exposing ``requested``, ``replicas`` and
+    ``compaction_ledger`` — the simulator, the wire harness and the asyncio
+    runtime (:class:`repro.net.runtime.NetCluster`) all share this oracle.
+    """
+    def minlabel(op_id: OperationId):
+        best = INFINITY
+        for replica in cluster.replicas.values():
+            best = label_min(best, replica.label_of(op_id))
+        return best
+
+    compacted = cluster.compaction_ledger.ids
+    prefix = [x.id for x in cluster.compaction_ledger.prefix]
+    labelled = [
+        op_id
+        for op_id in cluster.requested
+        if op_id not in compacted and minlabel(op_id) is not INFINITY
+    ]
+    labelled.sort(key=lambda op_id: label_sort_key(minlabel(op_id)))
+    unlabelled = sorted(
+        (
+            op_id
+            for op_id in cluster.requested
+            if op_id not in compacted and minlabel(op_id) is INFINITY
+        ),
+        key=repr,
+    )
+    return prefix + labelled + unlabelled
+
+
+def algorithm_view_of(cluster) -> "AlgorithmSystem":
+    """An :class:`~repro.algorithm.system.AlgorithmSystem`-shaped view of a
+    quiescent harness, for the Section 7/8 invariant checker and the trace
+    oracles.
+
+    The harness keeps in-flight messages inside its transport (scheduled
+    events or sockets) rather than explicit channels, so the view models
+    every channel as empty — it is faithful exactly when the network is
+    quiet.  Shared by the simulator, the wire harness and the asyncio
+    runtime (same duck-typed surface as :func:`eventual_order_of`).
+    """
+    from repro.algorithm.system import AlgorithmSystem
+    from repro.spec.users import Users
+
+    view = AlgorithmSystem.__new__(AlgorithmSystem)
+    view.data_type = cluster.data_type
+    view.replica_ids = cluster.replica_ids
+    view.client_ids = cluster.client_ids
+    view.users = Users()
+    view.users.requested = set(cluster.requested.values())
+    view.users.responded = dict(cluster.responded)
+    view.frontends = cluster.frontends
+    view.replicas = cluster.replicas
+    view.request_channels = {}
+    view.response_channels = {}
+    view.gossip_channels = {}
+    view.trace = cluster.trace
+    view.compaction_ledger = cluster.compaction_ledger
+    return view
+
+
 def drive_until(
     simulator: Simulator,
     is_done: Callable[[], bool],
@@ -274,6 +342,11 @@ class SimulatedCluster:
             rid: [] for rid in self.replica_ids
         }
         self._gossip_flush_at: Dict[str, float] = {}
+        #: Observed gossip timestamp lag (receiver local clock minus the
+        #: sender's ``sent_at`` stamp) — ``(min, max)`` over all deliveries.
+        #: Under the clock-skew adversary this widens to roughly the skew
+        #: spread; it is never read by the algorithm (observability only).
+        self.gossip_lag_bounds: Optional[Tuple[float, float]] = None
 
     # ===================================================================== #
     # Lifecycle                                                             #
@@ -514,11 +587,22 @@ class SimulatedCluster:
             self.params.retransmit_interval, lambda: self._retransmit(operation)
         )
 
+    def _transit(self, kind: str, message):
+        """Hook applied to every message between send and delivery.
+
+        The base simulator passes objects through untouched;
+        :class:`repro.net.wire.WireCluster` overrides this to push each
+        message through the binary codec (encode -> frame bytes -> decode),
+        measuring real bytes on the wire without perturbing the schedule.
+        """
+        return message
+
     def _send_request(self, client: str, replica: str, operation: OperationDescriptor) -> None:
         message = self.frontends[client].make_request_message(operation)
         if self.network.should_drop("request", client, replica):
             return
         self.network.record_sent("request")
+        message = self._transit("request", message)
         delay = self.network.delay_for("request", self.simulator.now, client, replica)
         self.simulator.schedule(delay, lambda: self._deliver_request(replica, message))
         dup = self.network.maybe_duplicate("request", self.simulator.now, client, replica)
@@ -559,6 +643,7 @@ class SimulatedCluster:
         if self.network.should_drop("response", replica, client):
             return
         self.network.record_sent("response")
+        message = self._transit("response", message)
         delay = self.network.delay_for("response", self.simulator.now, replica, client)
         self.simulator.schedule(delay, lambda: self._deliver_response(client, message))
         dup = self.network.maybe_duplicate("response", self.simulator.now, replica, client)
@@ -611,7 +696,12 @@ class SimulatedCluster:
         if self.network.should_drop("gossip", source, destination):
             return
         message = self.replicas[source].make_gossip(destination)
+        # Stamped with the sender's *local* clock: under the clock-skew
+        # adversary this diverges from simulated time — observability only,
+        # the algorithm never reads it (timestamps are not load-bearing).
+        message.sent_at = self.network.local_clock(source, self.simulator.now)
         self.network.record_sent("gossip", payload_size=message.size_estimate())
+        message = self._transit("gossip", message)
         delay = self.network.delay_for("gossip", self.simulator.now, source, destination)
         self.simulator.schedule(delay, lambda: self._deliver_gossip(destination, message))
         # A duplicated delivery reuses the *same* message object: building a
@@ -624,6 +714,13 @@ class SimulatedCluster:
     def _deliver_gossip(self, destination: str, message: GossipMessage) -> None:
         if destination in self._crashed:
             return
+        if message.sent_at is not None:
+            lag = self.network.local_clock(destination, self.simulator.now) - message.sent_at
+            if self.gossip_lag_bounds is None:
+                self.gossip_lag_bounds = (lag, lag)
+            else:
+                lo, hi = self.gossip_lag_bounds
+                self.gossip_lag_bounds = (min(lo, lag), max(hi, lag))
         if self.params.batch_gossip:
             # Fast path: coalesce every arrival at this instant and process
             # the batch once.  Same-instant events run FIFO, so the flush
@@ -691,6 +788,7 @@ class SimulatedCluster:
         if self.network.should_drop("pull", source, message.target):
             return
         self.network.record_sent("pull")
+        message = self._transit("pull", message)
         delay = self.network.delay_for("pull", self.simulator.now, source, message.target)
         self.simulator.schedule(delay, lambda: self._deliver_pull(message.target, message))
         dup = self.network.maybe_duplicate("pull", self.simulator.now, source, message.target)
@@ -709,6 +807,10 @@ class SimulatedCluster:
         self.network.record_sent("transfer", payload_size=message.size_estimate())
         if self.network.should_corrupt_transfer(self.simulator.now):
             message = _tamper_transfer(message)
+        # Transit after tampering: the corrupted payload is what crosses the
+        # wire, so the codec must carry it faithfully for the receiver's
+        # digest check to reject it.
+        message = self._transit("transfer", message)
         delay = self.network.delay_for(
             "transfer", self.simulator.now, source, message.requester
         )
@@ -778,60 +880,17 @@ class SimulatedCluster:
         return best
 
     def eventual_order(self) -> List[OperationId]:
-        """Identifiers of all requested operations ordered by system-wide
-        minimum label (unlabelled operations last, deterministically).
-
-        The compacted stable prefix comes first in its agreed (ledger) order:
-        the labels below the frontier are deliberately forgotten, and every
-        tracked label exceeds them.
-        """
-        compacted = self.compaction_ledger.ids
-        prefix = [x.id for x in self.compaction_ledger.prefix]
-        labelled = [
-            op_id
-            for op_id in self.requested
-            if op_id not in compacted and self.minlabel(op_id) is not INFINITY
-        ]
-        labelled.sort(key=lambda op_id: label_sort_key(self.minlabel(op_id)))
-        unlabelled = sorted(
-            (
-                op_id
-                for op_id in self.requested
-                if op_id not in compacted and self.minlabel(op_id) is INFINITY
-            ),
-            key=repr,
-        )
-        return prefix + labelled + unlabelled
+        """See :func:`eventual_order_of` (shared across harnesses)."""
+        return eventual_order_of(self)
 
     def algorithm_view(self) -> "AlgorithmSystem":
-        """An :class:`~repro.algorithm.system.AlgorithmSystem`-shaped view of
-        this cluster, for the Section 7/8 invariant checker and the trace
-        oracles.
+        """See :func:`algorithm_view_of` (shared across harnesses).
 
-        The simulator keeps in-flight messages inside scheduled events rather
-        than explicit channels, so the view models every channel as empty —
-        it is faithful exactly when the network is quiet (after
+        Faithful exactly when the network is quiet (after
         :meth:`run_until_idle` plus enough gossip rounds for convergence),
         which is when the scenario fuzzer samples it.
         """
-        from repro.algorithm.system import AlgorithmSystem
-        from repro.spec.users import Users
-
-        view = AlgorithmSystem.__new__(AlgorithmSystem)
-        view.data_type = self.data_type
-        view.replica_ids = self.replica_ids
-        view.client_ids = self.client_ids
-        view.users = Users()
-        view.users.requested = set(self.requested.values())
-        view.users.responded = dict(self.responded)
-        view.frontends = self.frontends
-        view.replicas = self.replicas
-        view.request_channels = {}
-        view.response_channels = {}
-        view.gossip_channels = {}
-        view.trace = self.trace
-        view.compaction_ledger = self.compaction_ledger
-        return view
+        return algorithm_view_of(self)
 
     def fully_converged(self) -> bool:
         """Has every requested operation become stable at every replica?

@@ -196,6 +196,50 @@ class CorruptTransfers:
 
 
 @dataclass
+class ClockSkew:
+    """Skew each affected replica's local clock by a fixed offset drawn
+    uniformly from ``[-max_skew, +max_skew]`` during ``[start, end)``.
+
+    The offsets are drawn from the dedicated ``fault_rng`` stream at
+    install time (one draw per affected replica, in replica-id order), so
+    enabling the adversary never consumes primary-stream randomness — the
+    delivery schedule is bit-identical with and without it.  The algorithm
+    is asynchronous and never reads clocks for correctness; the only
+    observable effect is on gossip ``sent_at`` timestamps (and the lag
+    bounds the cluster derives from them), which is exactly the claim the
+    twin tests pin down.
+
+    ``replicas=None`` skews every replica in the cluster."""
+
+    start: float
+    end: float
+    max_skew: float = 5.0
+    replicas: Optional[List[str]] = None
+
+    def install(self, cluster: SimulatedCluster) -> None:
+        if self.end <= self.start:
+            raise ValueError("skew end must come after its start")
+        if self.max_skew < 0:
+            raise ValueError("max_skew must be non-negative")
+        targets = list(self.replicas) if self.replicas is not None else list(cluster.replica_ids)
+
+        def begin() -> None:
+            for node in targets:
+                offset = cluster.network.fault_rng.uniform(-self.max_skew, self.max_skew)
+                cluster.network.set_clock_skew(node, offset)
+
+        def finish() -> None:
+            for node in targets:
+                cluster.network.clear_clock_skew(node)
+
+        cluster.simulator.schedule_at(self.start, begin)
+        cluster.simulator.schedule_at(self.end, finish)
+
+    def end_time(self) -> float:
+        return self.end
+
+
+@dataclass
 class FaultSchedule:
     """A collection of faults to install on a cluster before running it."""
 
@@ -230,6 +274,7 @@ FAULT_KINDS: Dict[str, type] = {
     "straggler": StragglerReplica,
     "duplicate_messages": DuplicateMessages,
     "corrupt_transfers": CorruptTransfers,
+    "clock_skew": ClockSkew,
 }
 
 _KIND_OF = {cls: kind for kind, cls in FAULT_KINDS.items()}

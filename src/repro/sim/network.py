@@ -104,6 +104,12 @@ class SimulatedNetwork:
         #: Corruption window for checkpoint transfers.
         self._corrupt_until: float = float("-inf")
         self._corrupt_probability: float = 0.0
+        #: Per-node local-clock offsets (the clock-skew adversary): a node's
+        #: local clock reads ``now + skew``.  Only message *timestamps* are
+        #: affected — delivery scheduling always uses true simulated time, and
+        #: the algorithm itself never reads clocks (its correctness is
+        #: asynchronous), so skew is observable but never schedule-perturbing.
+        self.clock_skews: Dict[str, float] = {}
         #: Auxiliary stream for fault-window coin flips (see module docstring).
         self.fault_rng = random.Random(FAULT_STREAM_SEED)
 
@@ -155,6 +161,18 @@ class SimulatedNetwork:
             raise ValueError("corruption probability must be within [0, 1]")
         self._corrupt_until = until
         self._corrupt_probability = probability
+
+    def set_clock_skew(self, node: str, offset: float) -> None:
+        """Skew *node*'s local clock by *offset* time units (either sign)."""
+        self.clock_skews[node] = offset
+
+    def clear_clock_skew(self, node: str) -> None:
+        """Re-synchronize *node*'s local clock with simulated time."""
+        self.clock_skews.pop(node, None)
+
+    def local_clock(self, node: str, now: float) -> float:
+        """What *node*'s local clock reads at true simulated time *now*."""
+        return now + self.clock_skews.get(node, 0.0)
 
     # -- delay / loss decisions ------------------------------------------------
 

@@ -84,6 +84,7 @@ class ShardedCluster:
         replica_factory: Optional[ReplicaFactory] = None,
         virtual_nodes: int = 64,
         compaction: Union[None, CompactionPolicy, Mapping[str, CompactionPolicy]] = None,
+        cluster_class: type = SimulatedCluster,
     ) -> None:
         self.base_type = base_type
         self.store_type = KeyedStore(base_type)
@@ -113,8 +114,11 @@ class ShardedCluster:
 
         # Front ends live under the composite per-shard client identities
         # the directory mints ids with (contiguous seqnos per shard).
+        # ``cluster_class`` lets alternative harness shards ride the shared
+        # event loop — e.g. :class:`repro.net.wire.WireCluster`, which pushes
+        # every message through the binary codec (``--runtime=net``).
         self.shards: Dict[str, SimulatedCluster] = {
-            shard: SimulatedCluster(
+            shard: cluster_class(
                 self.store_type,
                 replicas_per_shard,
                 [composite_client(c, shard) for c in self.client_ids],

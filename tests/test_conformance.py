@@ -155,6 +155,7 @@ class TestFaultSerialization:
             "straggler": dict(replica="r2", factor=4.0, start=0.0, end=5.0),
             "duplicate_messages": dict(start=0.0, end=3.0, probability=0.25),
             "corrupt_transfers": dict(start=0.0, end=3.0, probability=1.0),
+            "clock_skew": dict(start=0.0, end=6.0, max_skew=2.5, replicas=["r0", "r2"]),
         }
         assert set(samples) == set(FAULT_KINDS)
         for kind, fields in samples.items():
