@@ -13,7 +13,15 @@ Gupta, Luchangco, Lynch, Shvartsman; PODC 1996, full version TCS 220, 1999):
   primary copy, Ladin-style lazy replication) used to reproduce the paper's
   performance analysis and Cheiner's experiments;
 * **applications**: a distributed directory/name service and an object
-  repository.
+  repository;
+* a **networked runtime** (``repro.net``) running the same replica cores
+  over asyncio streams with a binary wire codec, and **live elastic
+  resharding** of the keyed service layer behind a unified
+  :class:`ReplicaConfig` cluster-configuration API.
+
+The curated public surface is ``__all__`` below; everything else is
+internal and may change between versions.  See ``docs/api.md`` for the
+guided tour.
 
 Quickstart
 ----------
@@ -67,6 +75,7 @@ from repro.algorithm import (
     MemoizedReplicaCore,
     ReplicaCore,
 )
+from repro.config import ReplicaConfig
 from repro.verification import (
     AlgorithmInvariantChecker,
     AlgorithmToSpecSimulation,
@@ -88,7 +97,16 @@ from repro.sim import (
     run_keyed_workload,
     run_workload,
 )
+from repro.sim.sharded import LiveReshard
 from repro.service import KeyedStore, ShardRouter, ShardedFrontend
+from repro.service.router import KeyRangeMove
+from repro.net import NetCluster, NetParams, WireCluster, WireStats
+from repro.conformance import (
+    DATA_TYPE_NAMES,
+    DATA_TYPES,
+    ScenarioSpec,
+    run_scenario,
+)
 from repro.baselines import (
     CentralizedAtomicService,
     LadinLazyReplicationService,
@@ -149,10 +167,13 @@ __all__ = [
     "AlgorithmToSpecSimulation",
     "check_esds2_implements_esds1",
     "check_system_trace",
+    # unified cluster configuration
+    "ReplicaConfig",
     # simulation
     "SimulatedCluster",
     "SimulationParams",
     "ShardedCluster",
+    "LiveReshard",
     "WorkloadSpec",
     "KeyedWorkloadSpec",
     "run_workload",
@@ -166,8 +187,19 @@ __all__ = [
     # service layer
     "KeyedStore",
     "ShardRouter",
+    "KeyRangeMove",
     "ShardedFrontend",
     "MetricsError",
+    # networked runtime
+    "NetCluster",
+    "NetParams",
+    "WireCluster",
+    "WireStats",
+    # conformance
+    "ScenarioSpec",
+    "run_scenario",
+    "DATA_TYPES",
+    "DATA_TYPE_NAMES",
     # baselines
     "CentralizedAtomicService",
     "PrimaryCopyService",

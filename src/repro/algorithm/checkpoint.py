@@ -107,6 +107,18 @@ def canonical_repr(value: Any) -> str:
     return repr(value)
 
 
+def chunk_slices(items: Sequence[Any], chunk: Optional[int]) -> List[List[Any]]:
+    """Split *items* into order-preserving slices of at most *chunk* entries
+    (``None`` or a covering chunk size yields a single slice; an empty input
+    still yields one empty slice, so transfers always carry at least one
+    chunk to anchor the digest).  Shared by checkpoint value transfer and
+    resharding migration transfer."""
+    items = list(items)
+    if chunk is None or chunk >= max(len(items), 1):
+        return [items]
+    return [items[i : i + chunk] for i in range(0, len(items), chunk)]
+
+
 def _evict_oldest(values: Dict[OperationId, Any], retention: Optional[int]) -> Dict[OperationId, Any]:
     """Bound an insertion-ordered (oldest-first) value ledger in place."""
     if retention is not None:
@@ -416,10 +428,7 @@ class Checkpoint:
         order-preserving, which :meth:`merged_values`'s oldest-first eviction
         depends on; each slice corresponds to a contiguous client-interval
         range of the folded identifiers."""
-        items = list(self.values.items())
-        if chunk is None or chunk >= max(len(items), 1):
-            return [dict(items)]
-        return [dict(items[i : i + chunk]) for i in range(0, len(items), chunk)]
+        return [dict(part) for part in chunk_slices(list(self.values.items()), chunk)]
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"Checkpoint(count={self.count}, frontier={self.frontier})"

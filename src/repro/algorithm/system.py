@@ -34,6 +34,7 @@ from repro.algorithm.messages import GossipMessage, RequestMessage, ResponseMess
 from repro.algorithm.fastcore import FastReplicaCore
 from repro.algorithm.replica import ReplicaCore
 from repro.common import INFINITY, ConfigurationError, OperationId, SpecificationError
+from repro.config import UNSET, ReplicaConfig, merge_legacy_config
 from repro.core.operations import OperationDescriptor, client_specified_constraints
 from repro.core.orders import PartialOrder, induced_order, transitive_closure
 from repro.datatypes.base import SerialDataType
@@ -103,23 +104,40 @@ class AlgorithmSystem:
         client_ids: Sequence[str],
         replica_factory: Optional[ReplicaFactory] = None,
         users: Optional[Users] = None,
-        delta_gossip: bool = False,
-        full_state_interval: int = 8,
-        incremental_replay: bool = False,
-        compaction: Optional[CompactionPolicy] = None,
-        advert_gossip: bool = False,
-        checkpoint_chunk: Optional[int] = None,
-        fast_core: bool = False,
+        delta_gossip: bool = UNSET,
+        full_state_interval: int = UNSET,
+        incremental_replay: bool = UNSET,
+        compaction: Optional[CompactionPolicy] = UNSET,
+        advert_gossip: bool = UNSET,
+        checkpoint_chunk: Optional[int] = UNSET,
+        fast_core: bool = UNSET,
+        config: Optional[ReplicaConfig] = None,
     ) -> None:
         if len(set(replica_ids)) < 2:
             raise ConfigurationError("the algorithm assumes at least two replicas")
         if not client_ids:
             raise ConfigurationError("at least one client is required")
+        self.config = merge_legacy_config(
+            config,
+            dict(
+                delta_gossip=delta_gossip,
+                full_state_interval=full_state_interval,
+                incremental_replay=incremental_replay,
+                compaction=compaction,
+                advert_gossip=advert_gossip,
+                checkpoint_chunk=checkpoint_chunk,
+                fast_core=fast_core,
+            ),
+            "AlgorithmSystem",
+        )
+        self.config.require_single_policy("AlgorithmSystem")
         self.data_type = data_type
         self.replica_ids: Tuple[str, ...] = tuple(replica_ids)
         self.client_ids: Tuple[str, ...] = tuple(client_ids)
 
-        factory = replica_factory or (FastReplicaCore if fast_core else ReplicaCore)
+        factory = replica_factory or (
+            FastReplicaCore if self.config.fast_core else ReplicaCore
+        )
         self.users = users if users is not None else Users()
         self.frontends: Dict[str, FrontEndCore] = {
             c: FrontEndCore(c, self.replica_ids) for c in self.client_ids
@@ -131,14 +149,7 @@ class AlgorithmSystem:
         #: from every replica's compaction reports.
         self.compaction_ledger = CompactionLedger()
         for core in self.replicas.values():
-            if delta_gossip:
-                core.configure_delta_gossip(True, full_state_interval)
-            if incremental_replay:
-                core.enable_incremental_replay()
-            if compaction is not None:
-                core.configure_compaction(compaction)
-            if advert_gossip:
-                core.configure_advert_gossip(True, checkpoint_chunk)
+            self.config.configure_core(core)
             core.on_compact = self.compaction_ledger.record
 
         self.request_channels: Dict[Tuple[str, str], Channel[RequestMessage]] = {
@@ -168,6 +179,19 @@ class AlgorithmSystem:
         self.users.requested.add(operation)
         self.frontends[operation.id.client].request(operation)
         self.trace.record_request(operation)
+
+    def ensure_client(self, client_id: str) -> None:
+        """Admit a client identity after construction (resharding: migrated
+        operations keep the composite ``client@shard`` identity their source
+        shard minted them under, so the destination system hosts a front end
+        for that foreign identity too).  Idempotent."""
+        if client_id in self.frontends:
+            return
+        self.client_ids = self.client_ids + (client_id,)
+        self.frontends[client_id] = FrontEndCore(client_id, self.replica_ids)
+        for replica in self.replica_ids:
+            self.request_channels[(client_id, replica)] = Channel(client_id, replica)
+            self.response_channels[(replica, client_id)] = Channel(replica, client_id)
 
     def send_request(self, client: str, replica: str, operation: OperationDescriptor) -> None:
         """``send_cr(("request", x))`` — front end relays a pending request."""
@@ -545,6 +569,14 @@ class AlgorithmSystem:
         operation becomes stable everywhere (used by tests to reach the
         eventual total order)."""
         for _ in range(gossip_rounds):
+            # Relay requests still parked at a front end: ``send_request`` is a
+            # separate action from ``request`` and may not have fired yet for
+            # recently submitted operations.  Replicas treat retransmits
+            # idempotently, so blanket re-sends are safe.
+            for client, frontend in self.frontends.items():
+                for operation in sorted(frontend.wait, key=lambda op: repr(op.id)):
+                    for replica in self.replica_ids:
+                        self.send_request(client, replica, operation)
             self._deliver_everything(rng)
             for src in self.replica_ids:
                 for dst in self.replica_ids:

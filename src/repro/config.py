@@ -1,0 +1,161 @@
+"""Unified replica feature configuration (``ReplicaConfig``).
+
+Every deployment harness — :class:`~repro.algorithm.system.AlgorithmSystem`,
+:class:`~repro.sim.cluster.SimulationParams` (and through it
+:class:`~repro.sim.cluster.SimulatedCluster`),
+:class:`~repro.service.frontend.ShardedFrontend`,
+:class:`~repro.sim.sharded.ShardedCluster` and
+:class:`~repro.net.runtime.NetCluster` — switches the same replica-level
+features: the fast core, delta gossip, incremental replay, checkpoint
+compaction, advert/pull gossip.  Historically each entry point re-declared
+them as loose keyword arguments; :class:`ReplicaConfig` is the one shared
+dataclass they all accept (``config=...``), with the loose kwargs kept as a
+deprecation shim (:func:`merge_legacy_config`).
+
+Two of the fields only mean something under the discrete-event simulator
+(``batch_gossip``, ``compaction_interval``); the algorithm-level entry
+points ignore them, which keeps one config object usable across every
+harness.  ``compaction`` accepts a per-shard mapping only at the sharded
+entry points; the single-system entry points require a plain policy.
+"""
+
+from __future__ import annotations
+
+import warnings
+from dataclasses import dataclass, fields
+from typing import Any, Dict, Mapping, Optional, Union
+
+from repro.algorithm.checkpoint import CompactionPolicy
+from repro.common import ConfigurationError
+
+#: Sentinel distinguishing "kwarg not passed" from an explicit default — the
+#: deprecation shims need the distinction to warn only on real legacy usage.
+UNSET: Any = object()
+
+#: Compaction configuration: one policy everywhere, or (sharded entry points
+#: only) a mapping from shard id to policy.
+CompactionLike = Union[None, CompactionPolicy, Mapping[str, CompactionPolicy]]
+
+
+@dataclass(frozen=True)
+class ReplicaConfig:
+    """Replica-level feature flags shared by every deployment entry point.
+
+    Parameters mirror the per-feature ``configure_*`` switches on
+    :class:`~repro.algorithm.replica.ReplicaCore`; see each harness for what
+    the feature does there.  Instances are immutable and reusable across
+    harnesses and shards.
+    """
+
+    #: Use :class:`~repro.algorithm.fastcore.FastReplicaCore` as the replica
+    #: variant (ignored when an explicit ``replica_factory`` is supplied).
+    fast_core: bool = False
+    #: Destination-specific delta gossip instead of full-state payloads.
+    delta_gossip: bool = False
+    #: With delta gossip, the periodic full-state fallback interval.
+    full_state_interval: int = 8
+    #: Cache the last response replay, re-applying only the changed suffix.
+    incremental_replay: bool = False
+    #: Stability-driven checkpoint compaction policy (``None`` = disabled).
+    #: Sharded entry points additionally accept a per-shard mapping.
+    compaction: CompactionLike = None
+    #: Advert/pull checkpoint gossip (compact advert + on-demand transfer).
+    advert_gossip: bool = False
+    #: With advert gossip, retained values per transfer chunk (``None`` = 1 msg).
+    checkpoint_chunk: Optional[int] = None
+    #: Simulator-only: coalesce same-instant gossip arrivals per replica.
+    batch_gossip: bool = False
+    #: Simulator-only: force a compaction sweep at this simulated interval.
+    compaction_interval: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.full_state_interval < 1:
+            raise ConfigurationError("full_state_interval must be at least 1")
+        if self.checkpoint_chunk is not None and self.checkpoint_chunk < 1:
+            raise ConfigurationError("checkpoint_chunk must be at least 1 or None")
+        if self.compaction_interval is not None:
+            if self.compaction is None:
+                raise ConfigurationError("compaction_interval requires a compaction policy")
+            if self.compaction_interval <= 0:
+                raise ConfigurationError("compaction_interval must be positive")
+
+    # -- harness adapters ------------------------------------------------------
+
+    def require_single_policy(self, owner: str) -> Optional[CompactionPolicy]:
+        """The compaction policy for a single-system harness (rejects the
+        per-shard mapping form, which only sharded entry points resolve)."""
+        if isinstance(self.compaction, Mapping):
+            raise ConfigurationError(
+                f"{owner} manages one replica group; per-shard compaction "
+                "mappings only apply to the sharded entry points"
+            )
+        return self.compaction
+
+    def for_shard(self, shard: str) -> "ReplicaConfig":
+        """This config with the per-shard compaction mapping resolved for
+        *shard* (shards absent from the mapping run uncompacted; the
+        interval timer is dropped with the policy, as the simulator's
+        parameter validation requires)."""
+        if not isinstance(self.compaction, Mapping):
+            return self
+        policy = self.compaction.get(shard)
+        interval = self.compaction_interval if policy is not None else None
+        return ReplicaConfig(
+            **{
+                **self.as_dict(),
+                "compaction": policy,
+                "compaction_interval": interval,
+            }
+        )
+
+    def configure_core(self, core) -> None:
+        """Apply the feature switches to one replica core (the compaction
+        field must already be a plain policy here)."""
+        if self.delta_gossip:
+            core.configure_delta_gossip(True, self.full_state_interval)
+        if self.incremental_replay:
+            core.enable_incremental_replay()
+        if self.compaction is not None:
+            core.configure_compaction(self.compaction)
+        if self.advert_gossip:
+            core.configure_advert_gossip(True, self.checkpoint_chunk)
+
+    def as_dict(self) -> Dict[str, Any]:
+        """All fields as a plain dict (e.g. for SimulationParams overlay)."""
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+
+#: Field names a legacy shim may collect (subset per entry point).
+LEGACY_FIELD_NAMES = tuple(f.name for f in fields(ReplicaConfig))
+
+
+def merge_legacy_config(
+    config: Optional[ReplicaConfig],
+    legacy: Dict[str, Any],
+    owner: str,
+    stacklevel: int = 3,
+) -> ReplicaConfig:
+    """Resolve ``config=`` against the deprecated loose kwargs.
+
+    *legacy* maps field names to the received kwarg values, with
+    :data:`UNSET` marking "not passed".  Passing both a config and an
+    explicit legacy kwarg is rejected (silently preferring one would hide a
+    conflicting intent); passing only legacy kwargs warns once per call site
+    and builds the equivalent :class:`ReplicaConfig`.
+    """
+    provided = {name: value for name, value in legacy.items() if value is not UNSET}
+    if config is not None:
+        if provided:
+            raise ConfigurationError(
+                f"{owner}: pass replica features via config=ReplicaConfig(...) "
+                f"or the legacy kwargs ({', '.join(sorted(provided))}), not both"
+            )
+        return config
+    if provided:
+        warnings.warn(
+            f"{owner}: the loose feature kwargs ({', '.join(sorted(provided))}) are "
+            "deprecated; pass config=ReplicaConfig(...) instead",
+            DeprecationWarning,
+            stacklevel=stacklevel,
+        )
+    return ReplicaConfig(**provided)

@@ -22,6 +22,7 @@ from typing import Any, Dict, List, Optional, Set, Tuple
 
 from repro.algorithm.checkpoint import CompactionPolicy
 from repro.common import OperationId
+from repro.config import LEGACY_FIELD_NAMES as REPLICA_FIELD_NAMES, ReplicaConfig
 from repro.conformance.codec import (
     ConformanceError,
     decode_op_list,
@@ -118,7 +119,13 @@ class ScenarioSpec:
     # -- serialization --------------------------------------------------------
 
     def to_doc(self) -> Dict[str, Any]:
+        # The replica-level feature fields serialize as a nested ``replica``
+        # document — the on-disk form of :class:`~repro.config.ReplicaConfig`
+        # — keeping the transport/timing knobs in ``params``.
         params_doc = dataclasses.asdict(self.params)
+        replica_doc = {
+            name: params_doc.pop(name) for name in REPLICA_FIELD_NAMES
+        }
         return {
             "name": self.name,
             "harness": self.harness,
@@ -129,6 +136,7 @@ class ScenarioSpec:
             "seed": self.seed,
             "workload_seed": self.workload_seed,
             "params": params_doc,
+            "replica": replica_doc,
             "workload": dict(self.workload),
             "faults": [dict(doc) for doc in self.faults],
             "drain_time": self.drain_time,
@@ -137,9 +145,21 @@ class ScenarioSpec:
     @classmethod
     def from_doc(cls, doc: Dict[str, Any]) -> "ScenarioSpec":
         params_doc = dict(doc["params"])
-        compaction = params_doc.get("compaction")
+        # Current form: replica-level features in a nested ReplicaConfig
+        # document.  Vectors predating the split carry them flat in
+        # ``params``; both deserialize to the same SimulationParams.
+        replica_doc = dict(doc.get("replica", ()))
+        compaction = replica_doc.get("compaction", params_doc.get("compaction"))
         if compaction is not None:
-            params_doc["compaction"] = CompactionPolicy(**compaction)
+            compaction = CompactionPolicy(**compaction)
+        if replica_doc:
+            replica_doc["compaction"] = compaction
+            params = SimulationParams(
+                **params_doc, replica=ReplicaConfig(**replica_doc)
+            )
+        else:
+            params_doc["compaction"] = compaction
+            params = SimulationParams(**params_doc)
         return cls(
             name=doc["name"],
             harness=doc["harness"],
@@ -149,7 +169,7 @@ class ScenarioSpec:
             clients=tuple(doc["clients"]),
             seed=doc["seed"],
             workload_seed=doc["workload_seed"],
-            params=SimulationParams(**params_doc),
+            params=params,
             workload=dict(doc["workload"]),
             faults=tuple(dict(fault) for fault in doc["faults"]),
             drain_time=doc["drain_time"],

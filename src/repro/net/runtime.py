@@ -50,10 +50,11 @@ from __future__ import annotations
 
 import asyncio
 import struct
-from dataclasses import dataclass, field
+from dataclasses import InitVar, dataclass, field, replace
 from typing import Any, Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 from repro.algorithm.checkpoint import CompactionLedger, CompactionPolicy
+from repro.config import ReplicaConfig
 from repro.algorithm.fastcore import FastReplicaCore
 from repro.algorithm.frontend import FrontEndCore
 from repro.algorithm.messages import ResponseMessage
@@ -111,8 +112,22 @@ class NetParams:
     request_retry: float = 1.0
     #: Delay before a broken link re-dials its peer.
     reconnect_delay: float = 0.05
+    #: Unified replica feature configuration: when given, its replica-level
+    #: fields replace the loose per-feature fields above, so one
+    #: :class:`~repro.config.ReplicaConfig` threads through every harness.
+    #: The simulator-only fields (``batch_gossip``, ``compaction_interval``)
+    #: are ignored here, as documented on :mod:`repro.config`.
+    replica: InitVar[Optional[ReplicaConfig]] = None
 
-    def __post_init__(self) -> None:
+    def __post_init__(self, replica: Optional[ReplicaConfig] = None) -> None:
+        if replica is not None:
+            self.fast_core = replica.fast_core
+            self.delta_gossip = replica.delta_gossip
+            self.full_state_interval = replica.full_state_interval
+            self.incremental_replay = replica.incremental_replay
+            self.compaction = replica.require_single_policy("NetParams")
+            self.advert_gossip = replica.advert_gossip
+            self.checkpoint_chunk = replica.checkpoint_chunk
         if self.gossip_period <= 0:
             raise ConfigurationError("gossip_period must be positive")
         if self.send_queue_limit < 1:
@@ -123,6 +138,21 @@ class NetParams:
             raise ConfigurationError("request_retry must be positive")
         if self.full_state_interval < 1:
             raise ConfigurationError("full_state_interval must be at least 1")
+
+    @property
+    def replica_config(self) -> ReplicaConfig:
+        """The replica-level slice of these parameters as the unified
+        :class:`~repro.config.ReplicaConfig` (the loose fields stay the
+        storage; this is the one object the runtime configures cores from)."""
+        return ReplicaConfig(
+            fast_core=self.fast_core,
+            delta_gossip=self.delta_gossip,
+            full_state_interval=self.full_state_interval,
+            incremental_replay=self.incremental_replay,
+            compaction=self.compaction,
+            advert_gossip=self.advert_gossip,
+            checkpoint_chunk=self.checkpoint_chunk,
+        )
 
 
 @dataclass
@@ -466,11 +496,16 @@ class NetCluster:
         client_ids: Sequence[str] = ("c0",),
         params: Optional[NetParams] = None,
         transport: str = "memory",
+        config: Optional[ReplicaConfig] = None,
     ) -> None:
         if num_replicas < 2:
             raise ConfigurationError("the algorithm assumes at least two replicas")
         self.data_type = data_type
         self.params = params or NetParams()
+        if config is not None:
+            # Overlay the unified replica configuration onto the transport
+            # parameters (same precedence as SimulationParams(replica=...)).
+            self.params = replace(self.params, replica=config)
         if transport == "memory":
             self.transport = _MemoryTransport()
         elif transport == "tcp":
@@ -484,15 +519,9 @@ class NetCluster:
             rid: factory(rid, self.replica_ids, data_type) for rid in self.replica_ids
         }
         self.compaction_ledger = CompactionLedger()
+        replica_config = self.params.replica_config
         for rid, core in self.replicas.items():
-            if self.params.delta_gossip:
-                core.configure_delta_gossip(True, self.params.full_state_interval)
-            if self.params.incremental_replay:
-                core.enable_incremental_replay()
-            if self.params.compaction is not None:
-                core.configure_compaction(self.params.compaction)
-            if self.params.advert_gossip:
-                core.configure_advert_gossip(True, self.params.checkpoint_chunk)
+            replica_config.configure_core(core)
             core.on_compact = self.compaction_ledger.record
 
         self.client_ids: Tuple[str, ...] = tuple(client_ids)
@@ -712,6 +741,38 @@ class NetCluster:
         self.stats.record_frame([("request", message)], len(frame), sizes)
 
     # -- public client API -----------------------------------------------------
+
+    def ensure_client(self, client_id: str) -> None:
+        """Register *client_id* lazily: a front end, an id counter, an
+        affinity replica.  Used when a foreign composite client identity
+        first appears at this deployment — e.g. a migrated slice being
+        :meth:`ingest`-ed under its original minting identities.  Existing
+        clients are left untouched; connections dial lazily on first send."""
+        if client_id in self.frontends:
+            return
+        self.client_ids = self.client_ids + (client_id,)
+        self.frontends[client_id] = FrontEndCore(client_id, self.replica_ids)
+        self.id_generators[client_id] = OperationIdGenerator(client_id)
+        self._affinity[client_id] = self.replica_ids[len(self._affinity) % len(self.replica_ids)]
+        self._client_conns.setdefault(client_id, {})
+
+    async def ingest(
+        self, operations: Sequence[OperationDescriptor], timeout: float = 30.0
+    ) -> Dict[OperationId, Any]:
+        """Replay a ``prev``-chained operation slice under its original
+        (possibly foreign) client identities — the network-side hook a
+        resharding coordinator uses to hand a migrated history to its new
+        owner.  Operations execute sequentially so every link's ``prev`` is
+        answered at the affinity replica before the next link is sent; the
+        returned mapping carries each operation's response value."""
+        values: Dict[OperationId, Any] = {}
+        for operation in operations:
+            self.ensure_client(operation.id.client)
+            if operation.id in self.responded:
+                values[operation.id] = self.responded[operation.id]
+                continue
+            values[operation.id] = await self.execute(operation, timeout=timeout)
+        return values
 
     def make_operation(
         self,

@@ -30,11 +30,19 @@ from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
 from repro.algorithm.checkpoint import CompactionPolicy
 from repro.algorithm.system import AlgorithmSystem, ReplicaFactory
-from repro.common import OperationId, ensure_not_stale
+from repro.common import ConfigurationError, OperationId, ensure_not_stale
+from repro.config import UNSET, ReplicaConfig, merge_legacy_config
 from repro.core.operations import OperationDescriptor
 from repro.datatypes.base import Operator, SerialDataType
 from repro.service.keyed import KeyedStore
-from repro.service.router import KeyspaceDirectory, ShardRouter, composite_client
+from repro.service.reshard import chain_ops
+from repro.service.router import (
+    KeyRangeMove,
+    KeyspaceDirectory,
+    ShardRouter,
+    composite_client,
+    stable_hash,
+)
 
 
 class ShardedFrontend:
@@ -80,49 +88,57 @@ class ShardedFrontend:
         client_ids: Sequence[str] = ("c0",),
         router: Optional[ShardRouter] = None,
         replica_factory: Optional[ReplicaFactory] = None,
-        fast_core: bool = False,
-        delta_gossip: bool = False,
-        full_state_interval: int = 8,
-        incremental_replay: bool = False,
+        fast_core: bool = UNSET,
+        delta_gossip: bool = UNSET,
+        full_state_interval: int = UNSET,
+        incremental_replay: bool = UNSET,
         virtual_nodes: int = 64,
-        compaction: Union[None, CompactionPolicy, Mapping[str, CompactionPolicy]] = None,
-        advert_gossip: bool = False,
-        checkpoint_chunk: Optional[int] = None,
+        compaction: Union[None, CompactionPolicy, Mapping[str, CompactionPolicy]] = UNSET,
+        advert_gossip: bool = UNSET,
+        checkpoint_chunk: Optional[int] = UNSET,
+        config: Optional[ReplicaConfig] = None,
     ) -> None:
         self.base_type = base_type
         self.store_type = KeyedStore(base_type)
         self.router = router or ShardRouter.for_count(num_shards, virtual_nodes=virtual_nodes)
         self.shard_ids: Tuple[str, ...] = self.router.shard_ids
         self.client_ids: Tuple[str, ...] = tuple(client_ids)
-
-        def policy_for(shard: str) -> Optional[CompactionPolicy]:
-            if isinstance(compaction, Mapping):
-                return compaction.get(shard)
-            return compaction
+        self.config = merge_legacy_config(
+            config,
+            dict(
+                fast_core=fast_core,
+                delta_gossip=delta_gossip,
+                full_state_interval=full_state_interval,
+                incremental_replay=incremental_replay,
+                compaction=compaction,
+                advert_gossip=advert_gossip,
+                checkpoint_chunk=checkpoint_chunk,
+            ),
+            "ShardedFrontend",
+        )
+        self._replicas_per_shard = replicas_per_shard
+        self._replica_factory = replica_factory
 
         # Each shard hosts front ends under the composite per-shard client
         # identities the directory mints operation ids with: one contiguous
         # seqno counter per (client, shard), so a shard's compacted id
         # summary stays at one interval per client.
         self.systems: Dict[str, AlgorithmSystem] = {
-            shard: AlgorithmSystem(
-                self.store_type,
-                [f"{shard}.r{i}" for i in range(replicas_per_shard)],
-                [composite_client(c, shard) for c in self.client_ids],
-                replica_factory=replica_factory,
-                fast_core=fast_core,
-                delta_gossip=delta_gossip,
-                full_state_interval=full_state_interval,
-                incremental_replay=incremental_replay,
-                compaction=policy_for(shard),
-                advert_gossip=advert_gossip,
-                checkpoint_chunk=checkpoint_chunk,
-            )
-            for shard in self.shard_ids
+            shard: self._build_system(shard) for shard in self.shard_ids
         }
         #: Shared routing/bookkeeping: unique identifiers, same-shard prev
         #: validation, operation-to-shard/key records.
         self.directory = KeyspaceDirectory(self.router, self.client_ids, base_type)
+
+    def _build_system(self, shard: str) -> AlgorithmSystem:
+        """One shard's complete ESDS instance (also used by ``add_shard``)."""
+        return AlgorithmSystem(
+            self.store_type,
+            [f"{shard}.r{i}" for i in range(self._replicas_per_shard)],
+            [composite_client(c, shard) for c in self.client_ids],
+            replica_factory=self._replica_factory,
+            config=self.config.for_shard(shard),
+        )
 
     # -- routing ---------------------------------------------------------------
 
@@ -183,14 +199,105 @@ class ShardedFrontend:
         for shard in self.shard_ids:
             self.systems[shard].drain(rng)
 
+    # -- resharding ------------------------------------------------------------
+
+    def add_shard(self, shard_id: str, rng: random.Random) -> List[KeyRangeMove]:
+        """Grow the ring by one shard: see :meth:`reshard`."""
+        return self.reshard(self.router.add_shard(shard_id), rng)
+
+    def drain_shard(self, shard_id: str, rng: random.Random) -> List[KeyRangeMove]:
+        """Shrink the ring by one shard; its key ranges migrate to the
+        surviving successors and the retired system's history stays
+        readable.  See :meth:`reshard`."""
+        return self.reshard(self.router.remove_shard(shard_id), rng)
+
+    def reshard(self, new_router: ShardRouter, rng: random.Random) -> List[KeyRangeMove]:
+        """Elastic reshard, synchronous flavour: drain to stability, migrate
+        each moved key range's frozen history into its new owner as a
+        ``prev``-chained slice (source eventual order), re-drain, flip.
+
+        The channel-level frontend has no in-flight window — draining first
+        freezes every slice at stability, so the flip is atomic here; the
+        simulator's :meth:`repro.sim.sharded.ShardedCluster.reshard` is the
+        live variant with a genuine dual-route handoff window.  Per-key
+        barrier constraints are still installed (every post-reshard
+        operation on a migrated key is chained after the migrated tail), so
+        the destination's min-label order can never reorder the relocated
+        history.  Returns the movement plan that was executed.
+        """
+        plan = ShardRouter.movement_plan(self.router, new_router)
+        for shard in new_router.shard_ids:
+            if shard not in self.router.shard_ids:
+                if shard in self.systems:
+                    raise ConfigurationError(
+                        f"shard id {shard!r} was retired by an earlier reshard "
+                        f"and cannot be reused"
+                    )
+                self.systems[shard] = self._build_system(shard)
+        # Freeze every slice: all traffic answered and stable everywhere.
+        self.drain(rng)
+        by_pair: Dict[Tuple[str, str], List[KeyRangeMove]] = {}
+        for move in plan:
+            by_pair.setdefault((move.source, move.destination), []).append(move)
+        hash_cache: Dict[str, int] = {}
+        for (source, destination), moves in sorted(by_pair.items()):
+            system = self.systems[source]
+            key_ops: Dict[str, List[OperationId]] = {}
+            for op_id, key in self.directory.keyed_operations():
+                point = hash_cache.get(key)
+                if point is None:
+                    point = hash_cache[key] = stable_hash(key)
+                if any(move.contains(point) for move in moves):
+                    key_ops.setdefault(key, []).append(op_id)
+            slice_ids = {op_id for ids in key_ops.values() for op_id in ids}
+            if not slice_ids:
+                continue
+            order = [op_id for op_id in system.eventual_order() if op_id in slice_ids]
+            by_id = {op.id: op for op in system.users.requested}
+            target = self.systems[destination]
+            present = {op.id for op in target.users.requested}
+            chained = chain_ops(
+                [by_id[op_id] for op_id in order],
+                key_of=self.directory.key_of_operation,
+            )
+            for operation in chained:
+                # A history migrating back to a former owner is partly
+                # present already; the per-key chain links survive the skip.
+                if operation.id in present:
+                    continue
+                target.ensure_client(operation.id.client)
+                target.request(operation)
+            target.drain(rng)
+            for op_id in order:
+                # Iterating in slice order, the last write per key is its
+                # migrated tail: post-reshard operations on the key chain
+                # after the relocated history.
+                self.directory.set_barrier(
+                    self.directory.key_of_operation(op_id), frozenset({op_id})
+                )
+        self.router = new_router
+        self.directory.router = new_router
+        self.shard_ids = new_router.shard_ids
+        return plan
+
     # -- results ---------------------------------------------------------------
 
     @property
     def responded(self) -> Dict[OperationId, Any]:
-        """Every delivered response, across all shards."""
+        """Every delivered response, across all shards.
+
+        After a reshard, a migrated operation is answered both by its
+        minting shard and by the destination's re-answer of the injected
+        chain; the minting shard's value wins the merge (the two agree when
+        the handoff preserved the per-key order — which the trace oracles
+        verify)."""
         merged: Dict[OperationId, Any] = {}
-        for system in self.systems.values():
-            merged.update(system.users.responded)
+        for sid, system in self.systems.items():
+            for op_id, value in system.users.responded.items():
+                if self.directory.origin_shard(op_id, sid) == sid:
+                    merged[op_id] = value
+                else:
+                    merged.setdefault(op_id, value)
         return merged
 
     @property
@@ -200,9 +307,13 @@ class ShardedFrontend:
         of its retained-value ledger (finite ``value_retention``).  The
         explicit failure signal replaces silently-never-answering."""
         merged: Dict[OperationId, str] = {}
-        for system in self.systems.values():
+        for sid, system in self.systems.items():
             for frontend in system.frontends.values():
-                merged.update(frontend.failed)
+                for op_id, reason in frontend.failed.items():
+                    if self.directory.origin_shard(op_id, sid) == sid:
+                        merged[op_id] = reason
+                    else:
+                        merged.setdefault(op_id, reason)
         return merged
 
     def value_of(self, operation: OperationDescriptor) -> Any:

@@ -1,0 +1,227 @@
+"""Live-resharding primitives: history slices, verified chunked transfer,
+chain injection.
+
+When a key range moves between shards, the destination must end up with the
+*same per-key operation history in the same order* the source settled on —
+otherwise values computed after the flip could contradict answers the source
+already gave.  Three cooperating pieces make that hold:
+
+* **Slice** — the moving keys' full operation history in the source shard's
+  eventual order.  The coordinator only cuts a slice once every sliced
+  operation is answered and stable at every source replica, so the order is
+  frozen (Invariant 7.2: the stable prefix is never reordered).
+
+* **Chunked, digest-verified transfer** — the slice ships in label-order
+  chunks mirroring the checkpoint-transfer path: every chunk carries the
+  whole slice's :class:`~repro.algorithm.checkpoint.OpIdSummary`, the
+  chained fold-order digest and a content digest over operations *and*
+  source-recorded response values.  The receiver reassembles, recomputes
+  both digests, and rejects any tampered or truncated body — the sender
+  then re-sends the slice (heal-by-re-pull, same discipline as corrupted
+  checkpoint transfers).
+
+* **Chain injection** — verified operations are injected into the
+  destination as *ordinary* requests, with their original ``prev`` sets
+  replaced by one link to the previously injected operation.  The chain
+  forces every destination replica to execute the slice in source order,
+  and minimum-label merging preserves chained order system-wide (for
+  chained ``x < y``, at the replica achieving ``minlabel(y)`` the label of
+  ``x`` is smaller, so ``minlabel(x) < minlabel(y)``).  Per-key values are
+  then correct by :class:`~repro.service.keyed.KeyedStore` obliviousness:
+  the value of an operation on key ``k`` depends only on the
+  ``k``-subsequence of the order, which injection preserves exactly.
+  Cross-key ``prev`` links cannot be lost — the directory never admits
+  them across shards in the first place.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, replace
+from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.algorithm.checkpoint import (
+    GENESIS_ORDER_DIGEST,
+    OpIdSummary,
+    canonical_repr,
+    chain_order_digest,
+    chunk_slices,
+)
+from repro.common import OperationId
+from repro.core.operations import OperationDescriptor, make_operation
+
+#: Marker wrapped around a migrated value tampered in flight by the
+#: corruption adversary (mirrors the checkpoint-transfer marker).
+MIGRATION_CORRUPTION_MARKER = "__corrupted__"
+
+
+def slice_digest(
+    ops: Sequence[OperationDescriptor], values: Mapping[OperationId, Any]
+) -> str:
+    """Content digest of one migration slice: the chained order digest over
+    the operation identifiers plus every shipped response value, canonically
+    rendered (set/dict ``repr`` instability must not brand honest payloads
+    as corrupt — same reasoning as checkpoint digests)."""
+    order = chain_order_digest(GENESIS_ORDER_DIGEST, (op.id for op in ops))
+    material = repr((
+        order,
+        tuple(
+            (repr(op_id), canonical_repr(values[op_id]))
+            for op_id in sorted(values, key=repr)
+        ),
+    ))
+    return hashlib.sha256(material.encode("utf-8")).hexdigest()[:16]
+
+
+@dataclass(frozen=True)
+class MigrationChunk:
+    """One label-order slice of a key-range migration transfer.
+
+    Every chunk carries the whole slice's id summary and digests, so the
+    receiver can verify the assembled body end to end no matter which chunk
+    arrives last; ``epoch`` distinguishes re-sends after a rejection or a
+    loss timeout (chunks of different epochs never mix in one assembly).
+    """
+
+    source: str
+    destination: str
+    epoch: int
+    seq: int
+    total: int
+    ops: Tuple[OperationDescriptor, ...]
+    #: Source-recorded response values of this chunk's answered operations,
+    #: in slice (label) order.
+    values: Tuple[Tuple[OperationId, Any], ...]
+    ids: OpIdSummary
+    order_digest: str
+    digest: str
+
+    def size_estimate(self) -> int:
+        """Wire-size contribution in op-ref units (rides the transfer-kind
+        accounting, like checkpoint transfer chunks)."""
+        return len(self.ops) + len(self.values) + self.ids.interval_count + 2
+
+
+def build_chunks(
+    source: str,
+    destination: str,
+    ops: Sequence[OperationDescriptor],
+    values: Mapping[OperationId, Any],
+    chunk: Optional[int],
+    epoch: int,
+) -> List[MigrationChunk]:
+    """Split a frozen slice into transfer chunks of at most *chunk*
+    operations each (``None`` = a single chunk), in slice order."""
+    ops = list(ops)
+    ids = OpIdSummary().with_ids(op.id for op in ops)
+    order = chain_order_digest(GENESIS_ORDER_DIGEST, (op.id for op in ops))
+    digest = slice_digest(ops, values)
+    slices = chunk_slices(ops, chunk)
+    chunks: List[MigrationChunk] = []
+    for seq, part in enumerate(slices):
+        chunks.append(
+            MigrationChunk(
+                source=source,
+                destination=destination,
+                epoch=epoch,
+                seq=seq,
+                total=len(slices),
+                ops=tuple(part),
+                values=tuple(
+                    (op.id, values[op.id]) for op in part if op.id in values
+                ),
+                ids=ids,
+                order_digest=order,
+                digest=digest,
+            )
+        )
+    return chunks
+
+
+def tamper_chunk(chunk: MigrationChunk) -> MigrationChunk:
+    """The corruption adversary's bit-flip on one migration chunk: a value
+    is wrapped (or, value-free chunks, an operation is dropped) while the
+    digest fields ride along intact — the receiver's recomputation must
+    catch either mutation."""
+    if chunk.values:
+        (op_id, value), *rest = chunk.values
+        return replace(
+            chunk, values=((op_id, (MIGRATION_CORRUPTION_MARKER, value)), *rest)
+        )
+    return replace(chunk, ops=chunk.ops[1:])
+
+
+class SliceAssembly:
+    """Destination-side reassembly of one slice with end-to-end verification.
+
+    Chunks arrive unordered (and possibly duplicated, lost, or re-sent under
+    a newer epoch); the newest epoch wins.  When every sequence number of
+    the current epoch is present the body is assembled in slice order and
+    both digests are recomputed: a mismatch rejects the body (counted in
+    ``rejections``) and resets the assembly for the sender's re-send.
+    """
+
+    def __init__(self) -> None:
+        self._epoch: Optional[int] = None
+        self._chunks: Dict[int, MigrationChunk] = {}
+        self.rejections = 0
+
+    def receive(
+        self, chunk: MigrationChunk
+    ) -> Optional[Tuple[List[OperationDescriptor], Dict[OperationId, Any]]]:
+        """Absorb one chunk; returns the verified ``(ops, values)`` body when
+        this chunk completes the slice, ``None`` otherwise (including on a
+        digest rejection, which bumps ``rejections``)."""
+        if self._epoch is None or chunk.epoch > self._epoch:
+            self._epoch = chunk.epoch
+            self._chunks = {}
+        elif chunk.epoch < self._epoch:
+            return None  # stale re-send; a newer epoch is already assembling
+        self._chunks[chunk.seq] = chunk
+        if len(self._chunks) < chunk.total:
+            return None
+        parts = [self._chunks[seq] for seq in range(chunk.total)]
+        self._chunks = {}
+        ops = [op for part in parts for op in part.ops]
+        values = {op_id: value for part in parts for op_id, value in part.values}
+        if (
+            chain_order_digest(GENESIS_ORDER_DIGEST, (op.id for op in ops))
+            != chunk.order_digest
+            or slice_digest(ops, values) != chunk.digest
+        ):
+            self.rejections += 1
+            return None
+        return ops, values
+
+
+def chain_ops(
+    ops: Sequence[OperationDescriptor],
+    key_of: Optional[Callable[[OperationId], str]] = None,
+) -> List[OperationDescriptor]:
+    """Rebuild a frozen slice as a ``prev``-chained sequence of ordinary
+    operations: each keeps its identifier and operator but its constraint
+    set becomes a link to its predecessor, forcing every destination
+    replica to execute the slice in source order.  Original ``prev`` sets
+    are deliberately dropped — they were satisfied at the source (and are
+    unrepresentable after the split anyway); injected operations are never
+    strict, since the source already answered them.
+
+    With *key_of*, each operation additionally links to the previous slice
+    operation **on its own key**.  A destination may skip injecting slice
+    operations it already holds (a history migrating back to a former
+    owner), which breaks the single-link chain across the skipped entry;
+    the per-key link survives the skip and is exactly the order the keyed
+    store's response values depend on."""
+    rebuilt: List[OperationDescriptor] = []
+    previous: Optional[OperationId] = None
+    last_on_key: Dict[str, OperationId] = {}
+    for op in ops:
+        prev = set() if previous is None else {previous}
+        if key_of is not None:
+            key = key_of(op.id)
+            if key in last_on_key:
+                prev.add(last_on_key[key])
+            last_on_key[key] = op.id
+        rebuilt.append(make_operation(op.op, op.id, frozenset(prev), strict=False))
+        previous = op.id
+    return rebuilt

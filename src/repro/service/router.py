@@ -24,6 +24,7 @@ from __future__ import annotations
 
 import bisect
 import hashlib
+from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.common import ConfigurationError, OperationId, OperationIdGenerator
@@ -35,6 +36,29 @@ from repro.service.keyed import KeyedStore
 def stable_hash(text: str) -> int:
     """A 64-bit hash of *text* that is stable across processes and runs."""
     return int.from_bytes(hashlib.md5(text.encode("utf-8")).digest()[:8], "big")
+
+
+#: Size of the hash space the ring lives in (``stable_hash`` is 64-bit).
+HASH_SPACE = 1 << 64
+
+
+@dataclass(frozen=True)
+class KeyRangeMove:
+    """One contiguous hash range whose ownership changes between two rings.
+
+    ``start`` is inclusive, ``end`` exclusive; ranges are linear (a move
+    wrapping the top of the hash space appears as two entries).  Every key
+    whose :func:`stable_hash` falls in ``[start, end)`` moves from
+    ``source`` to ``destination``.
+    """
+
+    start: int
+    end: int
+    source: str
+    destination: str
+
+    def contains(self, point: int) -> bool:
+        return self.start <= point < self.end
 
 
 class ShardRouter:
@@ -78,8 +102,65 @@ class ShardRouter:
 
     def shard_for(self, key: str) -> str:
         """The shard owning *key* (deterministic)."""
-        index = bisect.bisect_right(self._points, stable_hash(key)) % len(self._ring)
+        return self.shard_for_hash(stable_hash(key))
+
+    def shard_for_hash(self, point: int) -> str:
+        """The shard owning ring position *point* (the successor rule)."""
+        index = bisect.bisect_right(self._points, point) % len(self._ring)
         return self._ring[index][1]
+
+    # -- ring mutation (resharding) --------------------------------------------
+
+    def add_shard(self, shard_id: str) -> "ShardRouter":
+        """A new router with *shard_id* joined (the ring is immutable; live
+        migration swaps routers once the moved ranges are caught up)."""
+        if shard_id in self.shard_ids:
+            raise ConfigurationError(f"shard {shard_id!r} already present")
+        return ShardRouter(self.shard_ids + (shard_id,), self.virtual_nodes)
+
+    def remove_shard(self, shard_id: str) -> "ShardRouter":
+        """A new router with *shard_id* drained out of the ring."""
+        if shard_id not in self.shard_ids:
+            raise ConfigurationError(f"shard {shard_id!r} not present")
+        remaining = tuple(s for s in self.shard_ids if s != shard_id)
+        if not remaining:
+            raise ConfigurationError("cannot drain the last shard")
+        return ShardRouter(remaining, self.virtual_nodes)
+
+    @staticmethod
+    def movement_plan(old: "ShardRouter", new: "ShardRouter") -> List[KeyRangeMove]:
+        """The exact hash ranges whose owner differs between two rings.
+
+        Merging both rings' points splits the hash space into elementary
+        arcs on which ownership is constant in *both* rings; arcs whose old
+        and new owner differ are the moves, coalesced when contiguous with
+        the same (source, destination).  Consistent hashing guarantees the
+        plan only ever moves keys **to** a joining shard or **from** a
+        draining one — roughly ``1/n`` of the space either way.
+        """
+        if old.virtual_nodes != new.virtual_nodes:
+            raise ConfigurationError("movement plans require equal virtual_nodes")
+        points = sorted({*old._points, *new._points})
+        boundaries = [0] + points + [HASH_SPACE]
+        moves: List[KeyRangeMove] = []
+        for start, end in zip(boundaries, boundaries[1:]):
+            if start == end:
+                continue
+            source = old.shard_for_hash(start)
+            destination = new.shard_for_hash(start)
+            if source == destination:
+                continue
+            last = moves[-1] if moves else None
+            if (
+                last is not None
+                and last.end == start
+                and last.source == source
+                and last.destination == destination
+            ):
+                moves[-1] = KeyRangeMove(last.start, end, source, destination)
+            else:
+                moves.append(KeyRangeMove(start, end, source, destination))
+        return moves
 
     def spread(self, keys: Iterable[str]) -> Dict[str, int]:
         """How many of *keys* each shard owns (all shards present, 0 allowed)."""
@@ -108,6 +189,66 @@ def composite_client(client: str, shard: str) -> str:
     return f"{client}@{shard}"
 
 
+class TransitionRouter:
+    """Dual-routing overlay active during a live reshard.
+
+    Presents the same ``shard_for`` surface as :class:`ShardRouter` while a
+    migration is in flight: hash ranges from the movement plan route to the
+    *old* owner until their handoff window closes (the destination caught
+    up), then :meth:`flip` switches that range — and only that range — to
+    the *new* ring.  Once every planned range has flipped the overlay is
+    equivalent to the new router and the harness swaps it out.
+    """
+
+    def __init__(
+        self, old: ShardRouter, new: ShardRouter, plan: Sequence[KeyRangeMove]
+    ) -> None:
+        self.old = old
+        self.new = new
+        self.plan: Tuple[KeyRangeMove, ...] = tuple(plan)
+        self.virtual_nodes = new.virtual_nodes
+        self._flipped: List[KeyRangeMove] = []
+        self._flipped_starts: List[int] = []
+
+    @property
+    def shard_ids(self) -> Tuple[str, ...]:
+        """Old shards first (a draining shard keeps routing until its ranges
+        flip), then any joining shards."""
+        extra = tuple(s for s in self.new.shard_ids if s not in self.old.shard_ids)
+        return self.old.shard_ids + extra
+
+    def flip(self, move: KeyRangeMove) -> None:
+        """Atomically switch *move*'s hash range to the new ring."""
+        if move not in self.plan:
+            raise ConfigurationError(f"range {move} is not part of the movement plan")
+        if move in self._flipped:
+            return
+        index = bisect.bisect_right(self._flipped_starts, move.start)
+        self._flipped_starts.insert(index, move.start)
+        self._flipped.insert(index, move)
+
+    def complete(self) -> bool:
+        return len(self._flipped) == len(self.plan)
+
+    def shard_for_hash(self, point: int) -> str:
+        index = bisect.bisect_right(self._flipped_starts, point) - 1
+        if index >= 0 and self._flipped[index].contains(point):
+            return self.new.shard_for_hash(point)
+        return self.old.shard_for_hash(point)
+
+    def shard_for(self, key: str) -> str:
+        return self.shard_for_hash(stable_hash(key))
+
+    def __len__(self) -> int:
+        return len(self.shard_ids)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"TransitionRouter({list(self.old.shard_ids)} -> {list(self.new.shard_ids)}, "
+            f"flipped={len(self._flipped)}/{len(self.plan)})"
+        )
+
+
 class KeyspaceDirectory:
     """Routing plus operation bookkeeping shared by the sharded frontends.
 
@@ -133,6 +274,15 @@ class KeyspaceDirectory:
         self._shard_of_op: Dict[OperationId, str] = {}
         self._key_of_op: Dict[OperationId, str] = {}
         self._last_on_key: Dict[str, OperationId] = {}
+        #: Per-key migration barriers: while key ``k`` is in a reshard
+        #: handoff (and forever after), every new operation on ``k`` carries
+        #: these identifiers as additional ``prev`` constraints, ordering it
+        #: after the migrated history at the destination.  During the window
+        #: the barrier is the *whole* frozen slice-set of ``k``'s operations
+        #: (the slice order is only fixed at stability, but its membership is
+        #: frozen at the flip); after injection it tightens to the single
+        #: per-key chain tail.
+        self.migration_barriers: Dict[str, frozenset] = {}
 
     def route(
         self,
@@ -154,11 +304,25 @@ class KeyspaceDirectory:
                 raise ConfigurationError(
                     f"prev references an operation never requested here: {dep}"
                 )
-            if owner != shard:
+            if owner != shard and self.router.shard_for(self._key_of_op[dep]) != shard:
+                # The minting shard differs AND the dependency's key does not
+                # currently route here either: a genuine cross-shard
+                # constraint.  (After a reshard, operations minted by the old
+                # owner whose key migrated satisfy the second test — their
+                # history moved with the key, so same-key chains keep
+                # working across the flip.)
                 raise ConfigurationError(
                     f"prev constraint {dep} crosses shards ({owner} -> {shard}); "
                     f"client-specified constraints only hold within one shard"
                 )
+        barrier = self.migration_barriers.get(key)
+        if barrier:
+            # Barrier identifiers are same-key operations, so they always
+            # pass the cross-shard validation above; without this edge a
+            # destination replica that has not executed the injected chain
+            # yet could give the new operation a minimum label *below* the
+            # migrated history's, reordering the key's past.
+            prev_ids = prev_ids | barrier
         generator = self.id_generators.get((client, shard))
         if generator is None:
             generator = OperationIdGenerator(composite_client(client, shard))
@@ -181,3 +345,17 @@ class KeyspaceDirectory:
 
     def last_operation_on(self, key: str) -> Optional[OperationId]:
         return self._last_on_key.get(key)
+
+    def origin_shard(self, op_id: OperationId, default: Optional[str] = None) -> Optional[str]:
+        """The shard that *minted* an operation (its answering shard even
+        after the key migrates away)."""
+        return self._shard_of_op.get(op_id, default)
+
+    def keyed_operations(self) -> Iterable[Tuple[OperationId, str]]:
+        """Every recorded ``(operation id, key)`` pair (reshard coordinators
+        scan this to freeze a moving range's operation set at flip time)."""
+        return self._key_of_op.items()
+
+    def set_barrier(self, key: str, ids: frozenset) -> None:
+        """Install (or tighten) the migration barrier for *key*."""
+        self.migration_barriers[key] = ids

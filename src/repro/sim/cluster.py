@@ -20,7 +20,7 @@ The cluster exposes two usage styles:
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass
+from dataclasses import InitVar, dataclass
 from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 from repro.algorithm.checkpoint import CompactionLedger, CompactionPolicy
@@ -36,6 +36,7 @@ from repro.common import (
     OperationIdGenerator,
     ensure_not_stale,
 )
+from repro.config import ReplicaConfig
 from repro.core.operations import OperationDescriptor, make_operation
 from repro.datatypes.base import Operator, SerialDataType
 from repro.sim.events import Simulator
@@ -236,8 +237,16 @@ class SimulationParams:
     #: ``min_batch`` amortization gate).  ``None`` leaves compaction purely
     #: opportunistic (after gossip merges).
     compaction_interval: Optional[float] = None
+    #: Unified replica feature configuration: when given, its fields replace
+    #: the loose per-feature fields above (``SimulationParams(df=2.0,
+    #: replica=ReplicaConfig(fast_core=True, ...))``), so one
+    #: :class:`~repro.config.ReplicaConfig` threads through every harness.
+    replica: InitVar[Optional[ReplicaConfig]] = None
 
-    def __post_init__(self) -> None:
+    def __post_init__(self, replica: Optional[ReplicaConfig] = None) -> None:
+        if replica is not None:
+            for name, value in replica.as_dict().items():
+                setattr(self, name, value)
         if self.request_fanout < 1:
             raise ConfigurationError("request_fanout must be at least 1")
         if self.frontend_policy not in ("affinity", "round_robin", "random"):
@@ -253,6 +262,28 @@ class SimulationParams:
                 raise ConfigurationError("compaction_interval must be positive")
         if self.checkpoint_chunk is not None and self.checkpoint_chunk < 1:
             raise ConfigurationError("checkpoint_chunk must be at least 1 or None")
+        if self.compaction is not None and not isinstance(self.compaction, CompactionPolicy):
+            raise ConfigurationError(
+                "SimulationParams.compaction takes a single CompactionPolicy; "
+                "per-shard mappings resolve at the sharded entry points"
+            )
+
+    @property
+    def replica_config(self) -> ReplicaConfig:
+        """The replica-level slice of these parameters as the unified
+        :class:`~repro.config.ReplicaConfig` (the loose fields stay the
+        storage; this is the one object the harnesses configure cores from)."""
+        return ReplicaConfig(
+            fast_core=self.fast_core,
+            delta_gossip=self.delta_gossip,
+            full_state_interval=self.full_state_interval,
+            incremental_replay=self.incremental_replay,
+            compaction=self.compaction,
+            advert_gossip=self.advert_gossip,
+            checkpoint_chunk=self.checkpoint_chunk,
+            batch_gossip=self.batch_gossip,
+            compaction_interval=self.compaction_interval,
+        )
 
 
 class SimulatedCluster:
@@ -297,15 +328,9 @@ class SimulatedCluster:
         #: The agreed compacted stable prefix across the whole cluster (the
         #: replicas themselves forget the order; witnesses and audits need it).
         self.compaction_ledger = CompactionLedger()
+        replica_config = self.params.replica_config
         for rid, core in self.replicas.items():
-            if self.params.delta_gossip:
-                core.configure_delta_gossip(True, self.params.full_state_interval)
-            if self.params.incremental_replay:
-                core.enable_incremental_replay()
-            if self.params.compaction is not None:
-                core.configure_compaction(self.params.compaction)
-            if self.params.advert_gossip:
-                core.configure_advert_gossip(True, self.params.checkpoint_chunk)
+            replica_config.configure_core(core)
             core.on_compact = self._compaction_recorder(rid)
         self.client_ids: Tuple[str, ...] = tuple(client_ids)
         self.frontends: Dict[str, FrontEndCore] = {
@@ -335,6 +360,9 @@ class SimulatedCluster:
             for i, cid in enumerate(self.client_ids)
         }
         self._gossip_started = False
+        #: Set by :meth:`stop` when this cluster is retired (a drained shard
+        #: after a live reshard): timers stop rescheduling themselves.
+        self._stopped = False
         self._unstable: Set[OperationId] = set()
         #: Batched-gossip fast path: per-replica buffer of same-instant
         #: arrivals and the instant a flush is already scheduled for.
@@ -382,11 +410,22 @@ class SimulatedCluster:
 
     def _compaction_tick(self, replica: str) -> Callable[[], None]:
         def tick() -> None:
+            if self._stopped:
+                return
             if replica not in self._crashed:
                 self.replicas[replica].maybe_compact(force=True)
             self.simulator.schedule(self.params.compaction_interval, tick)
 
         return tick
+
+    def stop(self) -> None:
+        """Permanently silence this cluster's timers (gossip, forced
+        compaction, injection retries).  Used when a drained shard retires
+        after a live reshard: its history stays readable — ``responded``,
+        ``eventual_order`` and the trace remain valid — but it generates no
+        further events.  Only safe once the cluster is idle and converged;
+        the reshard coordinator checks both before calling."""
+        self._stopped = True
 
     @property
     def compacted_prefix(self) -> List[OperationDescriptor]:
@@ -460,8 +499,28 @@ class SimulatedCluster:
         operation = self.make_operation(client, operator, prev, strict)
         return self._schedule_operation(operation, at)
 
+    def ensure_client(self, client_id: str) -> None:
+        """Admit a client identity after construction (idempotent).
+
+        Live resharding needs this: migrated operations keep their original
+        ``client@shard`` minting identity, so the destination cluster hosts
+        a ghost front end for every such foreign client, and post-flip
+        traffic from relocated keys arrives under identities the destination
+        was not built with."""
+        if client_id in self.frontends:
+            return
+        self.client_ids = self.client_ids + (client_id,)
+        self.frontends[client_id] = FrontEndCore(client_id, self.replica_ids)
+        self.id_generators[client_id] = OperationIdGenerator(client_id)
+        self._affinity[client_id] = self.replica_ids[
+            len(self._affinity) % len(self.replica_ids)
+        ]
+
     def submit_operation(
-        self, operation: OperationDescriptor, at: Optional[float] = None
+        self,
+        operation: OperationDescriptor,
+        at: Optional[float] = None,
+        allow_unknown_prev: Iterable[OperationId] = (),
     ) -> OperationDescriptor:
         """Submit a pre-built descriptor (used by the sharded service layer,
         which mints identifiers itself so they stay unique across shards).
@@ -469,19 +528,77 @@ class SimulatedCluster:
         Validation lives here — :meth:`submit` goes through
         :meth:`make_operation` instead, which performs the same checks while
         constructing the descriptor.
-        """
+
+        ``allow_unknown_prev`` admits ``prev`` identifiers not (yet) in
+        ``requested``: during a reshard handoff window, post-flip operations
+        on moving keys carry barrier constraints naming migrated operations
+        whose chain injection is still in flight.  Replicas hold such an
+        operation pending until the chain arrives — that wait is the handoff
+        stall the E12 benchmark measures."""
         client = operation.id.client
         if client not in self.frontends:
             raise ConfigurationError(f"unknown client {client!r}")
         self.data_type.check_operator(operation.op)
         if operation.id in self.requested:
             raise ConfigurationError(f"operation identifier {operation.id} reused")
-        unknown = {p for p in operation.prev if p not in self.requested}
+        allowed = (
+            allow_unknown_prev
+            if isinstance(allow_unknown_prev, (set, frozenset))
+            else frozenset(allow_unknown_prev)
+        )
+        unknown = {
+            p for p in operation.prev if p not in self.requested and p not in allowed
+        }
         if unknown:
             raise ConfigurationError(
                 f"prev references operations never requested: {sorted(map(str, unknown))}"
             )
         return self._schedule_operation(operation, at)
+
+    def inject_operation(self, operation: OperationDescriptor) -> OperationDescriptor:
+        """Deliver a migrated operation into this cluster as an ordinary
+        request, immediately and to *every* live replica.
+
+        The reshard coordinator injects verified slice chains through here.
+        Unlike :meth:`submit_operation`, injection broadcasts (migration
+        progress must not hinge on one affinity replica's health) and runs
+        its own retry loop regardless of ``retransmit_interval`` — the chain
+        must land even in deployments that disable client retransmits.
+        Chains are injected in order, so the strict prev check holds link by
+        link."""
+        self.ensure_client(operation.id.client)
+        if operation.id in self.requested:
+            raise ConfigurationError(f"operation identifier {operation.id} reused")
+        unknown = {p for p in operation.prev if p not in self.requested}
+        if unknown:
+            raise ConfigurationError(
+                f"injected chain out of order; unknown prev: {sorted(map(str, unknown))}"
+            )
+        self.start()
+        self.requested[operation.id] = operation
+        self._unanswered.add(operation.id)
+        self._unstable.add(operation.id)
+        self.frontends[operation.id.client].request(operation)
+        self.metrics.record_request(operation, self.simulator.now)
+        self.trace.record_request(operation)
+        self._broadcast_injected(operation)
+        return operation
+
+    def _broadcast_injected(self, operation: OperationDescriptor) -> None:
+        """Send an injected operation to all live replicas; reschedules
+        itself until the operation is answered (or the cluster retires)."""
+        if (
+            self._stopped
+            or operation.id in self.responded
+            or operation.id in self.failed
+        ):
+            return
+        client = operation.id.client
+        for rid in self.replica_ids:
+            if rid not in self._crashed:
+                self._send_request(client, rid, operation)
+        retry = max(2 * self.params.gossip_period, 4 * self.params.df)
+        self.simulator.schedule(retry, lambda: self._broadcast_injected(operation))
 
     def _schedule_operation(
         self, operation: OperationDescriptor, at: Optional[float]
@@ -675,6 +792,8 @@ class SimulatedCluster:
 
     def _gossip_tick(self, replica: str) -> Callable[[], None]:
         def tick() -> None:
+            if self._stopped:
+                return
             if replica not in self._crashed:
                 for destination in self.replica_ids:
                     if destination == replica:

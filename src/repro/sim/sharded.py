@@ -26,14 +26,29 @@ from __future__ import annotations
 
 import dataclasses
 import random
+import warnings
 from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple, Union
 
 from repro.algorithm.checkpoint import CompactionPolicy
-from repro.common import ConfigurationError, OperationId, ensure_not_stale
+from repro.common import (
+    ConfigurationError,
+    InvariantViolation,
+    OperationId,
+    ensure_not_stale,
+)
+from repro.config import UNSET, ReplicaConfig
 from repro.core.operations import OperationDescriptor
 from repro.datatypes.base import Operator, SerialDataType
 from repro.service.keyed import KeyedStore
-from repro.service.router import KeyspaceDirectory, ShardRouter, composite_client
+from repro.service.reshard import SliceAssembly, build_chunks, chain_ops, tamper_chunk
+from repro.service.router import (
+    KeyRangeMove,
+    KeyspaceDirectory,
+    ShardRouter,
+    TransitionRouter,
+    composite_client,
+    stable_hash,
+)
 from repro.sim.cluster import (
     ReplicaFactory,
     SimulatedCluster,
@@ -42,6 +57,159 @@ from repro.sim.cluster import (
 )
 from repro.sim.events import Simulator
 from repro.sim.metrics import PerShardMetrics
+
+
+class _PairMigration:
+    """One (source, destination) leg of a live reshard.
+
+    State machine::
+
+        waiting ──flip──> closing ──settled──> transferring ──verified──> done
+
+    * **waiting**: the leg's key ranges still route to the source.
+    * **flip** (at ``flip_at``): the transition router starts routing the
+      ranges to the destination, the moving operation set is frozen from the
+      directory, and per-key barriers are installed.
+    * **closing**: the source answers its remaining in-flight operations and
+      gossips the slice to stability at every source replica (dual-route
+      window — old traffic answered by the source, new traffic held at the
+      destination behind the barriers).
+    * **transferring**: the frozen slice (source eventual order + recorded
+      response values) ships in digest-verified chunks; loss and corruption
+      heal by whole-slice re-send under a fresh epoch.
+    * **done**: the verified slice was chain-injected into the destination
+      and the barriers tightened to the per-key tails.
+    """
+
+    __slots__ = (
+        "source",
+        "destination",
+        "ranges",
+        "flip_at",
+        "state",
+        "flipped_at",
+        "key_ops",
+        "slice_ids",
+        "slice_order",
+        "values",
+        "tails",
+        "epoch",
+        "assembly",
+        "resend_at",
+        "injected_at",
+        "_stable_ok",
+    )
+
+    def __init__(
+        self, source: str, destination: str, ranges: Tuple[KeyRangeMove, ...], flip_at: float
+    ) -> None:
+        self.source = source
+        self.destination = destination
+        self.ranges = ranges
+        self.flip_at = flip_at
+        self.state = "waiting"
+        self.flipped_at: Optional[float] = None
+        self.key_ops: Dict[str, frozenset] = {}
+        self.slice_ids: frozenset = frozenset()
+        self.slice_order: List[OperationId] = []
+        self.values: Dict[OperationId, Any] = {}
+        self.tails: Dict[str, OperationId] = {}
+        self.epoch = 0
+        self.assembly = SliceAssembly()
+        self.resend_at = 0.0
+        self.injected_at: Optional[float] = None
+        self._stable_ok: set = set()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"_PairMigration({self.source}->{self.destination}, {self.state}, "
+            f"{len(self.slice_ids)} ops)"
+        )
+
+
+class LiveReshard:
+    """Handle (and permanent record) of one live ring change.
+
+    Returned by :meth:`ShardedCluster.reshard` /
+    :meth:`~ShardedCluster.add_shard` / :meth:`~ShardedCluster.drain_shard`;
+    the caller keeps driving the shared event loop and polls :attr:`done`.
+    """
+
+    def __init__(
+        self,
+        old_router: ShardRouter,
+        new_router: ShardRouter,
+        transition: TransitionRouter,
+        plan: Tuple[KeyRangeMove, ...],
+        pairs: List[_PairMigration],
+        joining: Tuple[str, ...],
+        leaving: Tuple[str, ...],
+        started_at: float,
+    ) -> None:
+        self.old_router = old_router
+        self.new_router = new_router
+        self.transition = transition
+        self.plan = plan
+        self.pairs = pairs
+        self.joining = joining
+        self.leaving = leaving
+        self.started_at = started_at
+        self.completed_at: Optional[float] = None
+        self._hash_cache: Dict[str, int] = {}
+
+    @property
+    def done(self) -> bool:
+        """Has the ring fully flipped, with every slice injected, every
+        migrated operation re-answerable at its destination, and every
+        drained shard retired?"""
+        return self.completed_at is not None
+
+    @property
+    def transfer_rejections(self) -> int:
+        """Digest-verification rejections across all legs (each healed by a
+        whole-slice re-send)."""
+        return sum(pair.assembly.rejections for pair in self.pairs)
+
+    @property
+    def moved_operations(self) -> int:
+        """Operations migrated across all legs (known only post-flip)."""
+        return sum(len(pair.slice_ids) for pair in self.pairs)
+
+    def hash_of(self, key: str) -> int:
+        point = self._hash_cache.get(key)
+        if point is None:
+            point = self._hash_cache[key] = stable_hash(key)
+        return point
+
+    def pending_ids_for(self, shard: str) -> set:
+        """Migrated identifiers bound for *shard* whose chain injection has
+        not completed — post-flip operations on moving keys may name them in
+        barrier ``prev`` constraints before the destination knows them."""
+        pending: set = set()
+        for pair in self.pairs:
+            if pair.destination == shard and pair.state != "done":
+                pending |= pair.slice_ids
+        return pending
+
+    def summary(self) -> Dict[str, Any]:
+        """Benchmark/reporting snapshot of this reshard."""
+        return {
+            "started_at": self.started_at,
+            "completed_at": self.completed_at,
+            "joining": list(self.joining),
+            "leaving": list(self.leaving),
+            "legs": len(self.pairs),
+            "moved_ranges": len(self.plan),
+            "moved_operations": self.moved_operations,
+            "transfer_rejections": self.transfer_rejections,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        state = "done" if self.done else "in-progress"
+        return (
+            f"LiveReshard({len(self.old_router.shard_ids)}->"
+            f"{len(self.new_router.shard_ids)} shards, {state})"
+        )
 
 
 class ShardedCluster:
@@ -83,8 +251,9 @@ class ShardedCluster:
         router: Optional[ShardRouter] = None,
         replica_factory: Optional[ReplicaFactory] = None,
         virtual_nodes: int = 64,
-        compaction: Union[None, CompactionPolicy, Mapping[str, CompactionPolicy]] = None,
+        compaction: Union[None, CompactionPolicy, Mapping[str, CompactionPolicy]] = UNSET,
         cluster_class: type = SimulatedCluster,
+        config: Optional[ReplicaConfig] = None,
     ) -> None:
         self.base_type = base_type
         self.store_type = KeyedStore(base_type)
@@ -94,23 +263,40 @@ class ShardedCluster:
         self.client_ids: Tuple[str, ...] = tuple(client_ids)
         self.simulator = Simulator()
 
-        def shard_params(shard: str) -> SimulationParams:
-            if compaction is None:
-                return self.params
-            policy = (
-                compaction.get(shard, self.params.compaction)
-                if isinstance(compaction, Mapping)
-                else compaction
-            )
-            if policy is self.params.compaction:
-                return self.params
-            if policy is None:
-                # Disabling one shard must also drop the interval timer, or
-                # SimulationParams validation rejects the combination.
-                return dataclasses.replace(
-                    self.params, compaction=None, compaction_interval=None
+        # Replica features come from one ReplicaConfig: ``config=`` when
+        # given (overriding the params' replica-level fields), else the
+        # params' own slice; the legacy ``compaction`` override kwarg folds
+        # into it via a deprecation shim.
+        if compaction is UNSET:
+            compaction = None
+        if config is not None:
+            if compaction is not None:
+                raise ConfigurationError(
+                    "ShardedCluster: pass compaction inside config=ReplicaConfig(...) "
+                    "or as the legacy kwarg, not both"
                 )
-            return dataclasses.replace(self.params, compaction=policy)
+            self.config = config
+        else:
+            self.config = self.params.replica_config
+            if compaction is not None:
+                warnings.warn(
+                    "ShardedCluster: the compaction kwarg is deprecated; pass "
+                    "config=ReplicaConfig(compaction=...) instead",
+                    DeprecationWarning,
+                    stacklevel=2,
+                )
+                if isinstance(compaction, Mapping):
+                    merged = {
+                        shard: compaction.get(shard, self.config.compaction)
+                        for shard in self.shard_ids
+                    }
+                    compaction = {s: p for s, p in merged.items() if p is not None}
+                self.config = dataclasses.replace(self.config, compaction=compaction)
+        self._seed = seed
+        self._replicas_per_shard = replicas_per_shard
+        self._replica_factory = replica_factory
+        self._cluster_class = cluster_class
+        self._shard_index = {shard: i for i, shard in enumerate(self.shard_ids)}
 
         # Front ends live under the composite per-shard client identities
         # the directory mints ids with (contiguous seqnos per shard).
@@ -118,16 +304,7 @@ class ShardedCluster:
         # event loop — e.g. :class:`repro.net.wire.WireCluster`, which pushes
         # every message through the binary codec (``--runtime=net``).
         self.shards: Dict[str, SimulatedCluster] = {
-            shard: cluster_class(
-                self.store_type,
-                replicas_per_shard,
-                [composite_client(c, shard) for c in self.client_ids],
-                params=shard_params(shard),
-                replica_factory=replica_factory,
-                simulator=self.simulator,
-                rng=random.Random(seed * 7919 + index + 1),
-            )
-            for index, shard in enumerate(self.shard_ids)
+            shard: self._build_shard(shard) for shard in self.shard_ids
         }
         #: Shared routing/bookkeeping: unique identifiers, same-shard prev
         #: validation, operation-to-shard/key records.
@@ -135,6 +312,25 @@ class ShardedCluster:
         #: Every submitted operation, across shards.
         self.requested: Dict[OperationId, OperationDescriptor] = {}
         self._started = False
+        #: The in-progress live reshard, if any (at most one at a time).
+        self._migration: Optional[LiveReshard] = None
+        #: Every reshard ever performed (completed ones included) — the
+        #: handoff invariant checker re-audits them all.
+        self.reshards: List[LiveReshard] = []
+
+    def _build_shard(self, shard: str) -> SimulatedCluster:
+        """One shard's simulated cluster on the shared event loop (also used
+        by :meth:`add_shard` when resharding live)."""
+        index = self._shard_index.setdefault(shard, len(self._shard_index))
+        return self._cluster_class(
+            self.store_type,
+            self._replicas_per_shard,
+            [composite_client(c, shard) for c in self.client_ids],
+            params=dataclasses.replace(self.params, replica=self.config.for_shard(shard)),
+            replica_factory=self._replica_factory,
+            simulator=self.simulator,
+            rng=random.Random(self._seed * 7919 + index + 1),
+        )
 
     # ===================================================================== #
     # Lifecycle                                                             #
@@ -222,7 +418,13 @@ class ShardedCluster:
         shard, operation = self.directory.route(client, key, operator, prev, strict)
         self.start()
         self.requested[operation.id] = operation
-        self.shards[shard].submit_operation(operation, at=at)
+        # During a handoff window, a post-flip operation on a moving key
+        # carries barrier constraints naming migrated operations the
+        # destination has not received yet; admit exactly those.
+        allow: Iterable[OperationId] = ()
+        if self._migration is not None:
+            allow = self._migration.pending_ids_for(shard)
+        self.shards[shard].submit_operation(operation, at=at, allow_unknown_prev=allow)
         return operation
 
     def execute(
@@ -246,19 +448,36 @@ class ShardedCluster:
 
     @property
     def responded(self) -> Dict[OperationId, Any]:
-        """Values delivered to clients, across all shards."""
+        """Values delivered to clients, across all shards.
+
+        After a reshard, a migrated operation may be answered twice — by its
+        minting shard (the dual-route source) and by the destination's
+        re-answer of the injected chain; the minting shard's value is the
+        one the client actually saw first, so it wins the merge.  (The two
+        agree whenever the handoff invariants hold; the reshard checker
+        asserts exactly that.)
+        """
         merged: Dict[OperationId, Any] = {}
-        for shard in self.shards.values():
-            merged.update(shard.responded)
+        for sid, shard in self.shards.items():
+            for op_id, value in shard.responded.items():
+                if self.directory.origin_shard(op_id, sid) == sid:
+                    merged[op_id] = value
+                else:
+                    merged.setdefault(op_id, value)
         return merged
 
     @property
     def failed(self) -> Dict[OperationId, str]:
         """Operations declared unanswerable (stale-value NACK from every
-        replica of their shard), across all shards."""
+        replica of their shard), across all shards (minting shard's verdict
+        preferred, as in :attr:`responded`)."""
         merged: Dict[OperationId, str] = {}
-        for shard in self.shards.values():
-            merged.update(shard.failed)
+        for sid, shard in self.shards.items():
+            for op_id, reason in shard.failed.items():
+                if self.directory.origin_shard(op_id, sid) == sid:
+                    merged[op_id] = reason
+                else:
+                    merged.setdefault(op_id, reason)
         return merged
 
     def value_of(self, operation: OperationDescriptor) -> Any:
@@ -268,6 +487,350 @@ class ShardedCluster:
         cluster = self.shards[shard]
         ensure_not_stale(cluster.failed, operation.id)
         return cluster.responded[operation.id]
+
+    # ===================================================================== #
+    # Live elastic resharding                                               #
+    # ===================================================================== #
+
+    def active_reshard(self) -> Optional[LiveReshard]:
+        """The in-progress reshard, or ``None``."""
+        return self._migration
+
+    def add_shard(self, shard_id: str, flip_stagger: Optional[float] = None) -> LiveReshard:
+        """Grow the ring by one shard, live: see :meth:`reshard`."""
+        if self._migration is not None:
+            raise ConfigurationError("a reshard is already in progress")
+        return self.reshard(self.router.add_shard(shard_id), flip_stagger=flip_stagger)
+
+    def drain_shard(self, shard_id: str, flip_stagger: Optional[float] = None) -> LiveReshard:
+        """Shrink the ring by one shard, live: its key ranges migrate to the
+        surviving successors, and once every leg completes — and the drained
+        shard has answered everything and converged — it retires (timers
+        silenced, history kept readable).  See :meth:`reshard`."""
+        if self._migration is not None:
+            raise ConfigurationError("a reshard is already in progress")
+        return self.reshard(self.router.remove_shard(shard_id), flip_stagger=flip_stagger)
+
+    def reshard(
+        self, new_router: ShardRouter, flip_stagger: Optional[float] = None
+    ) -> LiveReshard:
+        """Change the consistent-hash ring **under traffic**.
+
+        The movement plan (exact key ranges changing owner) is computed from
+        the ring delta and grouped into (source, destination) legs; each leg
+        runs the :class:`_PairMigration` state machine independently, with
+        flips staggered by *flip_stagger* (default: one gossip period) so
+        the ring is genuinely mixed-ownership for a while.  Joining shards
+        are built and started immediately; the routing table becomes a
+        :class:`TransitionRouter` that flips per leg, and snaps to
+        *new_router* when the last leg completes.
+
+        Returns the :class:`LiveReshard` handle; keep driving the event loop
+        (``run`` / ``run_until_idle``) and poll ``handle.done``.
+        """
+        if self._migration is not None:
+            raise ConfigurationError("a reshard is already in progress")
+        old = self.router
+        plan = ShardRouter.movement_plan(old, new_router)
+        joining = tuple(s for s in new_router.shard_ids if s not in old.shard_ids)
+        leaving = tuple(s for s in old.shard_ids if s not in new_router.shard_ids)
+        for sid in joining:
+            if sid in self.shards:
+                raise ConfigurationError(
+                    f"shard id {sid!r} was retired by an earlier reshard and cannot be reused"
+                )
+            self.shards[sid] = self._build_shard(sid)
+            if self._started:
+                self.shards[sid].start()
+        transition = TransitionRouter(old, new_router, plan)
+        self.router = transition
+        self.directory.router = transition
+        self.shard_ids = transition.shard_ids
+        stagger = self.params.gossip_period if flip_stagger is None else flip_stagger
+        by_pair: Dict[Tuple[str, str], List[KeyRangeMove]] = {}
+        for move in plan:
+            by_pair.setdefault((move.source, move.destination), []).append(move)
+        pairs = [
+            _PairMigration(source, destination, tuple(moves), self.simulator.now + i * stagger)
+            for i, ((source, destination), moves) in enumerate(sorted(by_pair.items()))
+        ]
+        migration = LiveReshard(
+            old_router=old,
+            new_router=new_router,
+            transition=transition,
+            plan=plan,
+            pairs=pairs,
+            joining=joining,
+            leaving=leaving,
+            started_at=self.simulator.now,
+        )
+        self._migration = migration
+        self.reshards.append(migration)
+        self.start()
+        if pairs:
+            self.simulator.schedule(0.0, self._migration_tick)
+        else:
+            self._maybe_finalize_reshard(migration)
+        return migration
+
+    def run_until_resharded(
+        self,
+        migration: LiveReshard,
+        max_time: float = 10_000.0,
+        max_events: int = 5_000_000,
+    ) -> None:
+        """Drive the shared event loop until *migration* completes (or the
+        time/event budget runs out — e.g. a source replica stays crashed and
+        the slice can never settle)."""
+        self.start()
+        drive_until(self.simulator, lambda: migration.done, max_time, max_events)
+
+    def _migration_tick(self) -> None:
+        migration = self._migration
+        if migration is None:
+            return
+        for pair in migration.pairs:
+            self._advance_pair(migration, pair)
+        if self._maybe_finalize_reshard(migration):
+            return
+        self.simulator.schedule(0.5 * self.params.gossip_period, self._migration_tick)
+
+    def _advance_pair(self, migration: LiveReshard, pair: _PairMigration) -> None:
+        now = self.simulator.now
+        if pair.state == "waiting" and now >= pair.flip_at:
+            self._flip_pair(migration, pair)
+        if pair.state == "closing" and self._pair_settled(pair):
+            self._cut_slice(migration, pair)
+        if pair.state == "transferring" and now >= pair.resend_at:
+            self._send_slice(migration, pair)
+
+    def _flip_pair(self, migration: LiveReshard, pair: _PairMigration) -> None:
+        """Atomically flip this leg's key ranges to the destination, freeze
+        the moving operation set, and install the per-key barriers.
+
+        The slice *order* is only fixed once the source reaches stability,
+        but its *membership* is frozen right here: every operation on a
+        moving key was routed through the directory, and from this instant
+        new operations on those keys route to the destination.  Membership
+        is decided by the key's hash (not by minting shard), so histories
+        that already migrated once move again intact.
+        """
+        for move in pair.ranges:
+            migration.transition.flip(move)
+        key_ops: Dict[str, List[OperationId]] = {}
+        for op_id, key in self.directory.keyed_operations():
+            point = migration.hash_of(key)
+            if any(move.contains(point) for move in pair.ranges):
+                key_ops.setdefault(key, []).append(op_id)
+        pair.key_ops = {key: frozenset(ids) for key, ids in key_ops.items()}
+        pair.slice_ids = frozenset(
+            op_id for ids in pair.key_ops.values() for op_id in ids
+        )
+        for key, ids in pair.key_ops.items():
+            self.directory.set_barrier(key, ids)
+        pair.flipped_at = self.simulator.now
+        pair.state = "closing"
+
+    def _pair_settled(self, pair: _PairMigration) -> bool:
+        """Is this leg's slice frozen — every moving operation answered (or
+        failed for good) by the source, and stable at every source replica?
+        Stability freezes the slice's relative order (Invariant 7.2 / 7.21);
+        a crashed source replica blocks settlement until it recovers, which
+        is precisely the mid-handoff crash story."""
+        source = self.shards[pair.source]
+        for op_id in pair.slice_ids:
+            if op_id not in source.responded and op_id not in source.failed:
+                return False
+        for op_id in pair.slice_ids - pair._stable_ok:
+            operation = source.requested[op_id]
+            if all(rep.knows_stable(operation) for rep in source.replicas.values()):
+                pair._stable_ok.add(op_id)
+            else:
+                return False
+        return True
+
+    def _cut_slice(self, migration: LiveReshard, pair: _PairMigration) -> None:
+        """Cut the frozen slice: source eventual order restricted to the
+        moving operations, plus the source-recorded response values."""
+        source = self.shards[pair.source]
+        order = [op_id for op_id in source.eventual_order() if op_id in pair.slice_ids]
+        if len(order) != len(pair.slice_ids):
+            missing = sorted(map(str, pair.slice_ids.difference(order)))
+            raise InvariantViolation(f"reshard slice lost operations: {missing}")
+        pair.slice_order = order
+        pair.values = {
+            op_id: source.responded[op_id] for op_id in order if op_id in source.responded
+        }
+        if not order:
+            # Moving ranges with no history yet: ownership has flipped,
+            # nothing to transfer or inject.
+            pair.state = "done"
+            pair.injected_at = self.simulator.now
+            return
+        pair.state = "transferring"
+        self._send_slice(migration, pair)
+
+    def _send_slice(self, migration: LiveReshard, pair: _PairMigration) -> None:
+        """(Re-)send the whole slice in digest-verified chunks over the
+        source shard's network — subject to its loss, delay and
+        transfer-corruption adversaries, with byte accounting on the
+        ``transfer`` kind.  Each send uses a fresh epoch; a lost or rejected
+        body simply waits out ``resend_at`` and ships again."""
+        source = self.shards[pair.source]
+        pair.epoch += 1
+        ops = [source.requested[op_id] for op_id in pair.slice_order]
+        chunk_size = self.config.for_shard(pair.destination).checkpoint_chunk
+        chunks = build_chunks(
+            pair.source, pair.destination, ops, pair.values, chunk_size, pair.epoch
+        )
+        network = source.network
+        now = self.simulator.now
+        for chunk in chunks:
+            if network.should_drop("transfer", pair.source, pair.destination):
+                continue
+            network.record_sent("transfer", payload_size=chunk.size_estimate())
+            if network.should_corrupt_transfer(now):
+                chunk = tamper_chunk(chunk)
+            delay = network.delay_for("transfer", now, pair.source, pair.destination)
+            self.simulator.schedule(
+                delay, lambda c=chunk: self._deliver_migration_chunk(migration, pair, c)
+            )
+        pair.resend_at = now + max(4 * self.params.dg, 2 * self.params.gossip_period)
+
+    def _deliver_migration_chunk(
+        self, migration: LiveReshard, pair: _PairMigration, chunk
+    ) -> None:
+        if pair.state != "transferring":
+            return  # late duplicate of an already-injected slice
+        rejected_before = pair.assembly.rejections
+        result = pair.assembly.receive(chunk)
+        if result is None:
+            if pair.assembly.rejections > rejected_before:
+                # Digest mismatch: heal by re-pull — re-send promptly under
+                # a fresh epoch instead of waiting out the loss timeout.
+                pair.resend_at = self.simulator.now
+            return
+        ops, _values = result
+        self._inject_slice(migration, pair, ops)
+
+    def _inject_slice(
+        self, migration: LiveReshard, pair: _PairMigration, ops
+    ) -> None:
+        """Inject the verified slice into the destination as one prev-chain
+        of ordinary operations, then tighten each moved key's barrier from
+        the frozen slice-set to its single migrated tail.
+
+        Operations the destination already holds (a history migrating back
+        to a former owner) are skipped; the per-key chain links installed by
+        :func:`chain_ops` survive those skips, preserving exactly the
+        per-key order the response values depend on."""
+        destination = self.shards[pair.destination]
+        for operation in chain_ops(ops, key_of=self.directory.key_of_operation):
+            if operation.id not in destination.requested:
+                destination.inject_operation(operation)
+        tails: Dict[str, OperationId] = {}
+        for op_id in pair.slice_order:
+            tails[self.directory.key_of_operation(op_id)] = op_id
+        pair.tails = tails
+        for key, tail in tails.items():
+            self.directory.set_barrier(key, frozenset({tail}))
+        pair.injected_at = self.simulator.now
+        pair.state = "done"
+
+    def _maybe_finalize_reshard(self, migration: LiveReshard) -> bool:
+        """Complete the reshard once every leg is done, every migrated
+        operation is re-answerable at its destination (the catch-up window),
+        and every leaving shard has drained and converged — only then are
+        the drained shards retired and the ring snapped to the new router."""
+        if any(pair.state != "done" for pair in migration.pairs):
+            return False
+        for pair in migration.pairs:
+            destination = self.shards[pair.destination]
+            for op_id in pair.slice_order:
+                if op_id not in destination.responded and op_id not in destination.failed:
+                    return False
+        for sid in migration.leaving:
+            source = self.shards[sid]
+            # Converge *before* silencing gossip: a retired shard can no
+            # longer make progress, so stopping early would wedge
+            # ``fully_converged`` forever.
+            if source.outstanding_operations() or not source.fully_converged():
+                return False
+        for sid in migration.leaving:
+            self.shards[sid].stop()
+        self.router = migration.new_router
+        self.directory.router = migration.new_router
+        self.shard_ids = migration.new_router.shard_ids
+        migration.completed_at = self.simulator.now
+        self._migration = None
+        return True
+
+    def check_reshard_handoffs(self) -> None:
+        """Audit every completed migration leg: each migrated key's history
+        must appear in source order at the destination, post-flip operations
+        must sit after their key's migrated tail (the barrier held), and
+        every re-answered migrated operation must equal the source's
+        original response (Theorem 5.8 response equivalence across the
+        handoff).  The order audit runs **per key** — that is the order the
+        keyed store's values depend on; cross-key interleavings within a
+        slice are unconstrained once a history returns to a former owner,
+        where already-present operations keep their original positions."""
+        from repro.verification.invariants import check_reshard_handoff
+
+        for migration in self.reshards:
+            for pair in migration.pairs:
+                if pair.state != "done" or not pair.slice_order:
+                    continue
+                destination = self.shards[pair.destination]
+                # The audit compares against the destination's eventual
+                # order, which is only frozen at quiescence — mid-window the
+                # tentative min-label order may still shuffle (exactly like
+                # ``check_traces``, this is an eventual-order check).
+                if not destination.fully_converged():
+                    continue
+                post_flip: Dict[OperationId, OperationId] = {}
+                for op_id, key in self.directory.keyed_operations():
+                    tail = pair.tails.get(key)
+                    if (
+                        tail is not None
+                        and op_id not in pair.slice_ids
+                        and self.directory.origin_shard(op_id) == pair.destination
+                    ):
+                        # Minted at the destination and not part of the frozen
+                        # slice: necessarily submitted after the flip (slice
+                        # membership froze every pre-flip operation).
+                        post_flip[op_id] = tail
+                dest_order = destination.eventual_order()
+                by_key: Dict[str, List[OperationId]] = {}
+                for op_id in pair.slice_order:
+                    by_key.setdefault(
+                        self.directory.key_of_operation(op_id), []
+                    ).append(op_id)
+                for key, key_order in by_key.items():
+                    key_post_flip = {
+                        op_id: tail
+                        for op_id, tail in post_flip.items()
+                        if self.directory.key_of_operation(op_id) == key
+                    }
+                    check_reshard_handoff(
+                        key_order,
+                        dest_order,
+                        key_post_flip,
+                        context=f"{pair.source}->{pair.destination} key={key}",
+                    )
+                for op_id in pair.slice_order:
+                    original = pair.values.get(op_id)
+                    re_answer = destination.responded.get(op_id)
+                    if (
+                        op_id in pair.values
+                        and op_id in destination.responded
+                        and original != re_answer
+                    ):
+                        raise InvariantViolation(
+                            f"reshard handoff {pair.source}->{pair.destination}: "
+                            f"destination re-answered {op_id} with {re_answer!r} "
+                            f"but the source responded {original!r}"
+                        )
 
     # ===================================================================== #
     # Metrics and verification views                                        #
@@ -303,6 +866,7 @@ class ShardedCluster:
 
         for shard in self.shards.values():
             AlgorithmInvariantChecker(shard.algorithm_view()).check_all()
+        self.check_reshard_handoffs()
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (

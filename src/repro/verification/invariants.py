@@ -43,7 +43,7 @@ does to a caught-up replica (nothing beyond stability marking).
 
 from __future__ import annotations
 
-from typing import List, Set
+from typing import List, Mapping, Sequence, Set
 
 from repro.algorithm.labels import label_sort_key
 from repro.algorithm.memoized import MemoizedReplicaCore
@@ -582,6 +582,61 @@ class AlgorithmInvariantChecker:
                                 f"transfer {src}->{dst}: id summary is not the agreed "
                                 f"ledger prefix (missing {x.id})",
                             )
+
+
+def check_reshard_handoff(
+    slice_order: Sequence[OperationId],
+    dest_order: Sequence[OperationId],
+    post_flip: Mapping[OperationId, OperationId],
+    context: str = "",
+) -> None:
+    """The live-resharding handoff invariants, checked per migrated pair.
+
+    *slice_order* is the frozen source-side history of the moved key ranges
+    (the source shard's eventual order restricted to migrated operations);
+    *dest_order* is the destination shard's eventual order after injection;
+    *post_flip* maps each operation minted at the destination for a migrated
+    key to that key's migrated-history tail.
+
+    Checks:
+
+    * every migrated operation is present at the destination;
+    * the slice appears as an **in-order subsequence** of the destination's
+      eventual order — the destination never reorders the migrated history
+      (this is what makes per-key values response-equivalent across the
+      handoff, by keyed-store obliviousness).  Callers audit one key's
+      sub-slice at a time: cross-key interleavings are unobservable through
+      a keyed store and stop being preserved once a history migrates back
+      to a former owner (already-present operations keep their original
+      positions there);
+    * every post-flip operation on a migrated key is ordered **after** that
+      key's migrated tail — the barrier constraints held, so new traffic
+      cannot interleave into (or undercut) the relocated past.
+    """
+    where = f" ({context})" if context else ""
+    position = {op_id: index for index, op_id in enumerate(dest_order)}
+    previous = -1
+    for op_id in slice_order:
+        index = position.get(op_id)
+        if index is None:
+            _fail(
+                "Reshard handoff",
+                f"migrated operation {op_id} missing from destination order{where}",
+            )
+        if index <= previous:
+            _fail(
+                "Reshard handoff",
+                f"destination reordered migrated history at {op_id}{where}",
+            )
+        previous = index
+    for op_id, tail in post_flip.items():
+        if op_id not in position:
+            continue  # not yet labelled anywhere; ordered after everything
+        if tail in position and position[op_id] <= position[tail]:
+            _fail(
+                "Reshard handoff",
+                f"post-flip operation {op_id} ordered before migrated tail {tail}{where}",
+            )
 
 
 class SpecInvariantChecker:

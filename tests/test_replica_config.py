@@ -1,0 +1,208 @@
+"""Lockstep-twin tests for the unified :class:`ReplicaConfig`.
+
+Every deployment entry point (:class:`AlgorithmSystem`,
+:class:`SimulationParams`/:class:`SimulatedCluster`,
+:class:`ShardedFrontend`, :class:`ShardedCluster`, :class:`NetCluster`)
+accepts ``config=ReplicaConfig(...)`` alongside the deprecated loose
+feature kwargs.  These tests run each harness twice — once per spelling —
+on identical seeded workloads and assert the executions are
+indistinguishable, plus the shim semantics (one DeprecationWarning for
+legacy kwargs, ConfigurationError for passing both spellings).
+"""
+
+import asyncio
+import random
+
+import pytest
+
+from repro.algorithm.checkpoint import CompactionPolicy
+from repro.algorithm.system import AlgorithmSystem
+from repro.common import ConfigurationError, OperationIdGenerator
+from repro.config import ReplicaConfig
+from repro.core.operations import make_operation
+from repro.datatypes import CounterType
+from repro.net.runtime import NetCluster, NetParams
+from repro.service.frontend import ShardedFrontend
+from repro.sim.cluster import SimulatedCluster, SimulationParams
+from repro.sim.sharded import ShardedCluster
+
+FEATURES = dict(
+    fast_core=True,
+    delta_gossip=True,
+    full_state_interval=4,
+    incremental_replay=True,
+    compaction=CompactionPolicy(min_batch=4, value_retention=64),
+    advert_gossip=True,
+    checkpoint_chunk=3,
+)
+CONFIG = ReplicaConfig(**FEATURES)
+
+
+def drive_system(system, seed=5, count=20):
+    rng = random.Random(seed)
+    gens = {cid: OperationIdGenerator(cid) for cid in system.client_ids}
+    for i in range(count):
+        client = system.client_ids[i % len(system.client_ids)]
+        system.request(make_operation(CounterType.increment(), gens[client].fresh()))
+        for _ in range(4):
+            system.random_step(rng)
+    system.drain(rng)
+    return (
+        sorted(((op.id, value) for op, value in system.trace.responses),
+               key=lambda kv: repr(kv[0])),
+        system.eventual_order(),
+    )
+
+
+class TestAlgorithmSystemTwin:
+    def test_config_is_execution_identical_to_legacy_kwargs(self):
+        with pytest.warns(DeprecationWarning):
+            legacy = AlgorithmSystem(
+                CounterType(), ["r1", "r2", "r3"], ["c0", "c1"], **FEATURES
+            )
+        modern = AlgorithmSystem(
+            CounterType(), ["r1", "r2", "r3"], ["c0", "c1"], config=CONFIG
+        )
+        assert drive_system(legacy) == drive_system(modern)
+        assert legacy.config == modern.config
+
+    def test_both_spellings_rejected(self):
+        with pytest.raises(ConfigurationError):
+            AlgorithmSystem(
+                CounterType(), ["r1", "r2"], ["c0"],
+                fast_core=True, config=CONFIG,
+            )
+
+
+class TestSimulatedClusterTwin:
+    def test_params_replica_overlay_is_execution_identical(self):
+        legacy = SimulatedCluster(
+            CounterType(), 3, ["c0", "c1"],
+            params=SimulationParams(**FEATURES), seed=9,
+        )
+        modern = SimulatedCluster(
+            CounterType(), 3, ["c0", "c1"],
+            params=SimulationParams(replica=CONFIG), seed=9,
+        )
+        assert legacy.params.replica_config == modern.params.replica_config
+
+        def drive(cluster):
+            ops = []
+            for i in range(24):
+                ops.append(cluster.submit(
+                    ["c0", "c1"][i % 2], CounterType.increment()))
+                cluster.run(0.7)
+            cluster.run_until_idle()
+            return [cluster.responded[op.id] for op in ops], cluster.eventual_order()
+
+        assert drive(legacy) == drive(modern)
+
+
+class TestShardedClusterTwin:
+    def test_config_kwarg_is_execution_identical(self):
+        sharded_features = dict(FEATURES)
+        legacy = ShardedCluster(
+            CounterType(), num_shards=2, replicas_per_shard=2,
+            client_ids=["c0", "c1"],
+            params=SimulationParams(batch_gossip=True, **sharded_features),
+            seed=15,
+        )
+        modern = ShardedCluster(
+            CounterType(), num_shards=2, replicas_per_shard=2,
+            client_ids=["c0", "c1"],
+            params=SimulationParams(batch_gossip=True),
+            config=ReplicaConfig(batch_gossip=True, **FEATURES),
+            seed=15,
+        )
+        assert legacy.config == modern.config
+
+        def drive(cluster):
+            keys = [f"k{i}" for i in range(6)]
+            ops = []
+            for i in range(24):
+                ops.append(cluster.submit(["c0", "c1"][i % 2],
+                                          keys[i % len(keys)],
+                                          CounterType.increment()))
+                cluster.run(0.7)
+            cluster.run_until_idle()
+            return (
+                [cluster.responded[op.id] for op in ops],
+                {s: cluster.shards[s].eventual_order() for s in cluster.shard_ids},
+            )
+
+        assert drive(legacy) == drive(modern)
+
+
+class TestShardedFrontendTwin:
+    def test_config_kwarg_is_execution_identical(self):
+        with pytest.warns(DeprecationWarning):
+            legacy = ShardedFrontend(
+                CounterType(), num_shards=2, replicas_per_shard=2,
+                client_ids=("c0", "c1"), **FEATURES,
+            )
+        modern = ShardedFrontend(
+            CounterType(), num_shards=2, replicas_per_shard=2,
+            client_ids=("c0", "c1"), config=CONFIG,
+        )
+        assert legacy.config == modern.config
+
+        def drive(frontend):
+            rng = random.Random(21)
+            keys = [f"k{i}" for i in range(6)]
+            ops = []
+            for i in range(20):
+                ops.append(frontend.request(("c0", "c1")[i % 2],
+                                            keys[i % len(keys)],
+                                            CounterType.increment()))
+                frontend.run_random(rng, 5)
+            frontend.drain(rng)
+            return (
+                [frontend.responded[op.id] for op in ops],
+                frontend.eventual_orders(),
+            )
+
+        assert drive(legacy) == drive(modern)
+
+    def test_both_spellings_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ShardedFrontend(CounterType(), fast_core=True, config=CONFIG)
+
+
+class TestNetClusterTwin:
+    def test_config_overlay_matches_legacy_params(self):
+        legacy = NetParams(**FEATURES)
+        modern = NetParams(replica=CONFIG)
+        assert legacy == modern
+        assert legacy.replica_config == CONFIG
+
+        async def values(make_cluster):
+            cluster = make_cluster()
+            async with cluster:
+                out = []
+                for i in range(6):
+                    out.append(await cluster.submit("c0", CounterType.increment()))
+                await cluster.quiesce()
+                return out
+
+        legacy_values = asyncio.run(values(
+            lambda: NetCluster(CounterType(), 2, ("c0",), params=NetParams(**FEATURES))
+        ))
+        modern_values = asyncio.run(values(
+            lambda: NetCluster(CounterType(), 2, ("c0",), config=CONFIG)
+        ))
+        assert legacy_values == modern_values == [1, 2, 3, 4, 5, 6]
+
+    def test_mapping_compaction_rejected_outside_sharded_entry_points(self):
+        with pytest.raises(ConfigurationError):
+            NetParams(replica=ReplicaConfig(
+                compaction={"s0": CompactionPolicy(min_batch=4, value_retention=8)}
+            ))
+
+
+class TestOneWarningPerLegacyCall:
+    def test_exactly_one_deprecation_warning(self):
+        with pytest.warns(DeprecationWarning) as caught:
+            AlgorithmSystem(CounterType(), ["r1", "r2"], ["c0"],
+                            delta_gossip=True, incremental_replay=True)
+        assert len([w for w in caught
+                    if issubclass(w.category, DeprecationWarning)]) == 1

@@ -29,8 +29,12 @@ equivalence argument says the observable guarantees are identical, and this
 suite is the randomized regression net enforcing it.  A smaller batch of
 scenarios exercises the sharded service layer with per-shard faults; another
 re-runs the corpus seeds with *aggressive* checkpoint compaction; a further
-batch forces **advert/pull** gossip on top of that; and the extended-fault
-batch turns on the full adversary mix.
+batch forces **advert/pull** gossip on top of that; the extended-fault
+batch turns on the full adversary mix; and the reshard batch changes the
+consistent-hash ring **live** mid-load (grow or drain, driven directly
+against :class:`~repro.sim.sharded.ShardedCluster`) while transfer
+corruption and volatile crash/recovery fire, re-checking every per-shard
+oracle plus the handoff audit afterwards.
 
 The corpus size is ``FUZZ_SEEDS`` seeds per mode (default 20); the nightly
 CI job widens it via the ``FUZZ_SEEDS`` environment variable to cover
@@ -59,6 +63,9 @@ from repro.conformance.scenario import (
     ScenarioSpec,
     run_scenario,
 )
+from repro.datatypes import CounterType
+from repro.sim.cluster import SimulationParams
+from repro.sim.sharded import ShardedCluster
 
 FUZZ_SEEDS = list(range(int(os.environ.get("FUZZ_SEEDS", "20"))))
 
@@ -315,3 +322,95 @@ def test_random_sharded_scenarios_preserve_guarantees(seed, delta_gossip):
     mode = "delta" if delta_gossip else "full"
     spec = random_sharded_spec(f"fuzz-sharded-{mode}-{seed:03d}", seed, delta_gossip)
     run_checked(spec)
+
+
+#: The reshard batch re-runs half the corpus (at least 8 seeds); nightly
+#: widens it through ``FUZZ_SEEDS`` like every other batch.
+RESHARD_SEEDS = FUZZ_SEEDS[: max(8, len(FUZZ_SEEDS) // 2)]
+
+
+@pytest.mark.parametrize("seed", RESHARD_SEEDS)
+def test_random_reshard_under_faults_preserves_guarantees(seed):
+    """Live ring changes under the fault adversaries: a random sharded
+    cluster grows or drains mid-load while (randomly) a transfer-corruption
+    window covers the migration and a volatile crash takes out a replica
+    mid-handoff.  Afterwards every per-shard oracle (Section 7/8 invariants,
+    Theorem 5.8 trace check) plus the reshard handoff audit must hold, and
+    every submitted operation must have been answered.
+
+    This batch drives :class:`~repro.sim.sharded.ShardedCluster` directly
+    rather than going through :class:`ScenarioSpec` — a reshard is an
+    *online control action*, not a deployment parameter, so it has no spec
+    form to freeze into the conformance corpus."""
+    rng = random.Random(7000 + seed)
+    num_shards = rng.choice([2, 3])
+    cluster = ShardedCluster(
+        CounterType(),
+        num_shards=num_shards,
+        replicas_per_shard=3,
+        client_ids=[f"c{i}" for i in range(rng.randint(1, 2))],
+        params=SimulationParams(
+            batch_gossip=True,
+            retransmit_interval=4.0,
+            delta_gossip=rng.random() < 0.5,
+            full_state_interval=rng.choice([4, 8]),
+        ),
+        seed=seed * 5 + 1,
+    )
+    keys = [f"k{i}" for i in range(12)]
+
+    def traffic(count):
+        ops = []
+        for _ in range(count):
+            client = rng.choice(list(cluster.client_ids))
+            key = rng.choice(keys)
+            prev = cluster.last_operation_on(key)
+            operator = (
+                CounterType.increment() if rng.random() < 0.7 else CounterType.read()
+            )
+            ops.append(
+                cluster.submit(client, key, operator, prev=(prev,) if prev else ())
+            )
+            cluster.run(rng.uniform(0.2, 0.6))
+        return ops
+
+    everything = traffic(rng.randint(8, 16))
+
+    corrupting = rng.random() < 0.6
+    if corrupting:
+        for shard in cluster.shards.values():
+            shard.network.start_corruption(
+                until=cluster.now + rng.uniform(10.0, 25.0),
+                probability=rng.uniform(0.5, 1.0),
+            )
+
+    grow = num_shards == 2 or rng.random() < 0.6
+    if grow:
+        handle = cluster.add_shard(f"s{num_shards}")
+    else:
+        handle = cluster.drain_shard(rng.choice(list(cluster.shard_ids)))
+    everything += traffic(rng.randint(4, 10))
+
+    if rng.random() < 0.5:
+        # A volatile mid-handoff crash (source or destination leg), always
+        # recovered — the migration must stall, not corrupt, while it lasts.
+        # A few quiet gossip rounds first: a replica that answered an
+        # operation and volatile-crashes before gossiping it loses that
+        # operation for good (the fault model's documented lossiness, which
+        # the per-key prev chains here would turn into a permanent stall).
+        cluster.run(3 * cluster.params.gossip_period)
+        sid = rng.choice(list(cluster.shards))
+        cluster.shards[sid].crash_replica("r0", volatile_memory=True)
+        cluster.run(rng.uniform(5.0, 20.0))
+        cluster.shards[sid].recover_replica("r0")
+
+    cluster.run_until_resharded(handle, max_time=20_000.0)
+    assert handle.done, f"reshard never completed (seed {seed})"
+    everything += traffic(rng.randint(2, 6))
+
+    cluster.run_until_idle(max_time=20_000.0)
+    assert cluster.outstanding_operations() == 0
+    answered = set(cluster.responded) | set(cluster.failed)
+    assert {op.id for op in everything} <= answered
+    cluster.check_invariants()
+    cluster.check_traces()

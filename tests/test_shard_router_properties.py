@@ -118,3 +118,87 @@ def test_virtual_nodes_balance_the_keyspace():
         assert fair / 2 < count < fair * 2, f"{shard} owns {count} of {len(corpus)}"
     coarse = ShardRouter.for_count(4, virtual_nodes=1).spread(corpus)
     assert max(coarse.values()) >= max(balanced.values())
+
+
+@settings(max_examples=75, deadline=None)
+@given(
+    ids=st.lists(
+        st.text(
+            alphabet=st.characters(min_codepoint=33, max_codepoint=126),
+            min_size=1,
+            max_size=8,
+        ),
+        min_size=2,
+        max_size=6,
+        unique=True,
+    ),
+    sample_keys=st.lists(keys, min_size=1, max_size=50, unique=True),
+)
+def test_removing_a_shard_only_moves_its_own_keys(ids, sample_keys):
+    """Shrinking monotonicity (the drain direction): removing a shard moves
+    exactly the keys it owned, and never shuffles keys between survivors."""
+    departing = ids[-1]
+    before = ShardRouter(ids)
+    after = before.remove_shard(departing)
+    for key in sample_keys:
+        old_owner = before.shard_for(key)
+        new_owner = after.shard_for(key)
+        assert new_owner != departing
+        if old_owner != departing:
+            assert new_owner == old_owner
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    ids=st.lists(
+        st.text(
+            alphabet=st.characters(min_codepoint=33, max_codepoint=126),
+            min_size=1,
+            max_size=8,
+        ),
+        min_size=2,
+        max_size=5,
+        unique=True,
+    ),
+    sample_keys=st.lists(keys, min_size=1, max_size=40, unique=True),
+)
+def test_movement_plan_matches_the_routing_delta(ids, sample_keys):
+    """``movement_plan`` is exact: a key changes owner between the rings iff
+    its hash falls in some planned range, and the range's (source,
+    destination) pair matches the two routers' verdicts."""
+    from repro.service.router import stable_hash
+
+    old = ShardRouter(ids[:-1])
+    new = ShardRouter(ids)
+    plan = ShardRouter.movement_plan(old, new)
+    # Ranges are disjoint and sorted.
+    for earlier, later in zip(plan, plan[1:]):
+        assert earlier.end <= later.start
+    for key in sample_keys:
+        point = stable_hash(key)
+        containing = [move for move in plan if move.contains(point)]
+        if old.shard_for(key) == new.shard_for(key):
+            assert not containing
+        else:
+            assert len(containing) == 1
+            move = containing[0]
+            assert move.source == old.shard_for(key)
+            assert move.destination == new.shard_for(key)
+
+
+def test_add_and_drain_movement_is_symmetric():
+    """Adding a shard and draining it again move the same keyspace share in
+    opposite directions — ~1/n both ways, with identical range extents."""
+    base = ShardRouter.for_count(5, virtual_nodes=128)
+    grown = base.add_shard("s5")
+    plan_in = ShardRouter.movement_plan(base, grown)
+    plan_out = ShardRouter.movement_plan(grown, base)
+    assert all(move.destination == "s5" for move in plan_in)
+    assert all(move.source == "s5" for move in plan_out)
+    span_in = sum(move.end - move.start for move in plan_in)
+    span_out = sum(move.end - move.start for move in plan_out)
+    assert span_in == span_out  # the same arcs, reversed
+    # Sources of the in-plan match destinations of the out-plan, arc by arc.
+    assert [(m.start, m.end, m.source) for m in plan_in] == [
+        (m.start, m.end, m.destination) for m in plan_out
+    ]
