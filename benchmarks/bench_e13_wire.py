@@ -28,6 +28,7 @@ Environment knobs: ``E13_SIM_OPS`` (E13a ops, default 400), ``E13_NET_OPS``
 """
 
 import asyncio
+import gc
 import os
 
 from repro.algorithm.checkpoint import CompactionPolicy
@@ -222,6 +223,10 @@ async def _tcp_run(fast_core: bool):
 def test_e13c_tcp_loopback_throughput():
     results = {}
     for fast in (True, False):
+        # Collect the previous arm's cyclic garbage now: a gen-2 pass
+        # landing mid-run stalls the event loop for hundreds of ms and
+        # poisons the slower arm's latency tail.
+        gc.collect()
         report, converged = asyncio.run(_tcp_run(fast))
         assert converged, "cluster failed to converge after the load"
         assert report.failures == 0

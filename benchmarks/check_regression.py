@@ -85,20 +85,38 @@ def evaluate(check, value):
     return failures
 
 
+def load_metrics(bench_path: Path):
+    """The ``metrics`` object of a BENCH artifact, or an error string —
+    a corrupt or truncated artifact is a gate failure, not a traceback."""
+    try:
+        doc = json.loads(bench_path.read_text())
+    except (OSError, json.JSONDecodeError) as error:
+        return None, f"unreadable artifact {bench_path.name}: {error}"
+    metrics = doc.get("metrics") if isinstance(doc, dict) else None
+    if not isinstance(metrics, dict):
+        return None, f"artifact {bench_path.name} has no 'metrics' object"
+    return metrics, None
+
+
 def run(bench_dir: Path, update: bool) -> int:
     baseline_files = sorted(BASELINE_DIR.glob("BASELINE_*.json"))
     if not baseline_files:
         print(f"no baseline files under {BASELINE_DIR}", file=sys.stderr)
         return 2
     failures, checked = [], 0
+    covered = set()
     for baseline_path in baseline_files:
         baseline = json.loads(baseline_path.read_text())
         experiment = baseline["experiment"]
+        covered.add(experiment)
         bench_path = bench_dir / f"BENCH_{experiment}.json"
         if not bench_path.exists():
             failures.append(f"{experiment}: missing artifact {bench_path}")
             continue
-        metrics = json.loads(bench_path.read_text())["metrics"]
+        metrics, error = load_metrics(bench_path)
+        if metrics is None:
+            failures.append(f"{experiment}: {error}")
+            continue
         dirty = False
         for check in baseline["checks"]:
             value = lookup(metrics, check["path"])
@@ -120,6 +138,23 @@ def run(bench_dir: Path, update: bool) -> int:
         if update and dirty:
             baseline_path.write_text(json.dumps(baseline, indent=2) + "\n")
             print(f"updated {baseline_path}")
+    # Every produced artifact must be gated: a BENCH file with no matching
+    # baseline means an experiment silently escaped the regression gate
+    # (usually a new benchmark landed without its BASELINE_*.json).
+    unmatched = sorted(
+        path.name
+        for path in bench_dir.glob("BENCH_E*.json")
+        if path.name[len("BENCH_"):-len(".json")] not in covered
+    )
+    if unmatched:
+        known = ", ".join(sorted(covered))
+        for name in unmatched:
+            failures.append(
+                f"{name}: no matching baseline under {BASELINE_DIR} "
+                f"(baselines exist for: {known}) - add a "
+                f"BASELINE_{name[len('BENCH_'):-len('.json')]}.json with the "
+                "experiment's tolerance bands"
+            )
     if update:
         if failures:
             # Missing artifacts / dangling metric paths mean some baselines

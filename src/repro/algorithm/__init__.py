@@ -24,6 +24,11 @@ Modules:
 * :mod:`repro.algorithm.checkpoint` — stability-driven checkpoint compaction
   (the agreed stable prefix of Invariant 7.2 / Theorem 5.8 collapsed into a
   base state, bounding replica memory by the unstable suffix);
+* :mod:`repro.algorithm.fastcore` / :mod:`repro.algorithm.batchcore` — the
+  raw-speed replica variants: interned/bitset mirrors, and the
+  struct-of-arrays batch replay kernel layered on them (with
+  :mod:`repro.algorithm.batchops` providing the numpy-optional bulk array
+  primitives);
 * :mod:`repro.algorithm.memoized` — the memoizing replica ESDS-Alg'
   (Section 10.1);
 * :mod:`repro.algorithm.commute` — the ``Commute`` replica exploiting
@@ -52,6 +57,7 @@ from repro.algorithm.messages import (
 )
 from repro.algorithm.channel import Channel, LossyChannel
 from repro.algorithm.frontend import FrontEndCore
+from repro.algorithm.batchcore import BatchIncrementalReplicaCore, BatchReplicaCore
 from repro.algorithm.fastcore import FastIncrementalReplicaCore, FastReplicaCore
 from repro.algorithm.replica import IncrementalReplicaCore, ReplicaCore
 from repro.algorithm.memoized import MemoizedReplicaCore
@@ -83,6 +89,8 @@ __all__ = [
     "IncrementalReplicaCore",
     "FastReplicaCore",
     "FastIncrementalReplicaCore",
+    "BatchReplicaCore",
+    "BatchIncrementalReplicaCore",
     "MemoizedReplicaCore",
     "CommuteReplicaCore",
     "AlgorithmSystem",

@@ -1,0 +1,50 @@
+"""Numpy-optional bulk array primitives for the batch replay kernel.
+
+The batch kernel (:mod:`repro.algorithm.batchcore`) keeps its hot state in
+parallel Python arrays of packed int label keys.  When numpy is importable
+the bulk operations over those arrays vectorize; otherwise (or below the
+size threshold where interpreter/array round-trips dominate) a pure-Python
+fallback computes the identical result.  Exactness is non-negotiable: the
+numpy paths are only taken when the float64 round-trip provably preserves
+every key (all finite packed keys are integers ``<= 2**53``, the largest
+exactly-representable contiguous integer in a double), so the sort order —
+and therefore the replica's externally visible behaviour — never depends on
+whether numpy is installed.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+try:  # pragma: no cover - exercised via whichever path the host offers
+    import numpy as _np
+except ImportError:  # pragma: no cover
+    _np = None
+
+#: Whether the vectorized paths are available at all.
+HAVE_NUMPY = _np is not None
+
+#: Below this many elements the conversion overhead beats the vector win.
+NUMPY_MIN_ELEMENTS = 1024
+
+#: Every integer up to here round-trips exactly through a float64.
+_EXACT_FLOAT_LIMIT = float(2**53)
+
+
+def argsort_keys(keys: Sequence[float]) -> List[int]:
+    """Indices that stably sort *keys* — packed int label keys, possibly
+    with ``float("inf")`` entries for not-yet-labelled operations.
+
+    Stable, like ``list.sort``: equal keys (only the infinite ones can
+    collide — finite packed keys are unique) keep their input order, so the
+    numpy and fallback paths produce byte-identical orders.
+    """
+    if _np is not None and len(keys) >= NUMPY_MIN_ELEMENTS:
+        arr = _np.asarray(keys, dtype=_np.float64)
+        finite = arr[_np.isfinite(arr)]
+        # Any key above 2**53 may have rounded during conversion (and the
+        # rounding itself cannot push a too-big key below the limit), so
+        # this check is sound on the converted values.
+        if finite.size == 0 or float(finite.max()) < _EXACT_FLOAT_LIMIT:
+            return _np.argsort(arr, kind="stable").tolist()
+    return sorted(range(len(keys)), key=keys.__getitem__)

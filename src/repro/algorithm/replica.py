@@ -881,6 +881,17 @@ state_independent`: its tracked history has a hole below the awaited
         self.stats.gossip_received += 1
         self._post_merge()
 
+    def receive_gossip_batch(self, messages: Sequence[GossipMessage]) -> None:
+        """Merge a coalesced batch of gossip messages delivered in one
+        wakeup (the simulator's ``batch_gossip`` coalescing and the net
+        runtime's per-frame delivery both produce these).
+
+        The default is the sequential per-message merge, so every variant
+        accepts batches; :class:`~repro.algorithm.batchcore.BatchReplicaCore`
+        overrides it to defer the order splices across the whole batch."""
+        for message in messages:
+            self.receive_gossip(message)
+
     def _post_merge(self) -> None:
         """Post-gossip hook: opportunistic compaction (subclasses that keep
         derived prefix state — the memoizing variants — advance it first)."""

@@ -31,7 +31,7 @@ from repro.algorithm.checkpoint import CompactionLedger, CompactionPolicy
 from repro.algorithm.frontend import FrontEndCore
 from repro.algorithm.labels import Label, LabelOrInfinity, label_min, label_sort_key
 from repro.algorithm.messages import GossipMessage, RequestMessage, ResponseMessage
-from repro.algorithm.fastcore import FastReplicaCore
+from repro.algorithm.batchcore import core_factory
 from repro.algorithm.replica import ReplicaCore
 from repro.common import INFINITY, ConfigurationError, OperationId, SpecificationError
 from repro.config import UNSET, ReplicaConfig, merge_legacy_config
@@ -111,6 +111,7 @@ class AlgorithmSystem:
         advert_gossip: bool = UNSET,
         checkpoint_chunk: Optional[int] = UNSET,
         fast_core: bool = UNSET,
+        batch_replay: bool = UNSET,
         config: Optional[ReplicaConfig] = None,
     ) -> None:
         if len(set(replica_ids)) < 2:
@@ -127,6 +128,7 @@ class AlgorithmSystem:
                 advert_gossip=advert_gossip,
                 checkpoint_chunk=checkpoint_chunk,
                 fast_core=fast_core,
+                batch_replay=batch_replay,
             ),
             "AlgorithmSystem",
         )
@@ -135,9 +137,7 @@ class AlgorithmSystem:
         self.replica_ids: Tuple[str, ...] = tuple(replica_ids)
         self.client_ids: Tuple[str, ...] = tuple(client_ids)
 
-        factory = replica_factory or (
-            FastReplicaCore if self.config.fast_core else ReplicaCore
-        )
+        factory = replica_factory or core_factory(self.config)
         self.users = users if users is not None else Users()
         self.frontends: Dict[str, FrontEndCore] = {
             c: FrontEndCore(c, self.replica_ids) for c in self.client_ids

@@ -50,6 +50,10 @@ class ReplicaConfig:
     #: Use :class:`~repro.algorithm.fastcore.FastReplicaCore` as the replica
     #: variant (ignored when an explicit ``replica_factory`` is supplied).
     fast_core: bool = False
+    #: Use :class:`~repro.algorithm.batchcore.BatchReplicaCore` — the
+    #: struct-of-arrays batch replay kernel layered on the fast core.
+    #: Requires ``fast_core=True`` (the kernel extends the fast mirrors).
+    batch_replay: bool = False
     #: Destination-specific delta gossip instead of full-state payloads.
     delta_gossip: bool = False
     #: With delta gossip, the periodic full-state fallback interval.
@@ -69,6 +73,11 @@ class ReplicaConfig:
     compaction_interval: Optional[float] = None
 
     def __post_init__(self) -> None:
+        if self.batch_replay and not self.fast_core:
+            raise ConfigurationError(
+                "batch_replay=True requires fast_core=True: the batch kernel "
+                "extends the fast core's interned mirrors"
+            )
         if self.full_state_interval < 1:
             raise ConfigurationError("full_state_interval must be at least 1")
         if self.checkpoint_chunk is not None and self.checkpoint_chunk < 1:
@@ -128,6 +137,16 @@ class ReplicaConfig:
 #: Field names a legacy shim may collect (subset per entry point).
 LEGACY_FIELD_NAMES = tuple(f.name for f in fields(ReplicaConfig))
 
+#: Entry points that already emitted their deprecation warning this process.
+#: A workload constructing thousands of clusters through a legacy call site
+#: (the fuzzer, the benchmarks) should nag once, not thousands of times.
+_WARNED_OWNERS: set = set()
+
+
+def reset_legacy_warnings() -> None:
+    """Forget which call sites already warned (test isolation)."""
+    _WARNED_OWNERS.clear()
+
 
 def merge_legacy_config(
     config: Optional[ReplicaConfig],
@@ -140,7 +159,8 @@ def merge_legacy_config(
     *legacy* maps field names to the received kwarg values, with
     :data:`UNSET` marking "not passed".  Passing both a config and an
     explicit legacy kwarg is rejected (silently preferring one would hide a
-    conflicting intent); passing only legacy kwargs warns once per call site
+    conflicting intent); passing only legacy kwargs warns once per entry
+    point per process (:func:`reset_legacy_warnings` clears the registry)
     and builds the equivalent :class:`ReplicaConfig`.
     """
     provided = {name: value for name, value in legacy.items() if value is not UNSET}
@@ -151,7 +171,8 @@ def merge_legacy_config(
                 f"or the legacy kwargs ({', '.join(sorted(provided))}), not both"
             )
         return config
-    if provided:
+    if provided and owner not in _WARNED_OWNERS:
+        _WARNED_OWNERS.add(owner)
         warnings.warn(
             f"{owner}: the loose feature kwargs ({', '.join(sorted(provided))}) are "
             "deprecated; pass config=ReplicaConfig(...) instead",

@@ -49,6 +49,21 @@ transfer-integrity digest) is deliberately left on its original material so
 the checked-in conformance corpus stays valid; :func:`message_digest` /
 :func:`frame_digest` are the wire-level counterparts computed over this
 canonical encoding.
+
+Hot-path notes (wire version 2):
+
+* Encoders append varints in place (no per-varint ``bytes`` allocation) and
+  frames are assembled from a pooled grow-only buffer — one payload copy
+  into the frame, no intermediate per-payload ``bytes``.
+* A :class:`~repro.algorithm.checkpoint.CheckpointAdvert` encodes
+  *self-contained* (length-prefixed strings instead of table references),
+  which makes its bytes frame-independent — and therefore memoizable keyed
+  by ``(digest, order_digest)``, which the content digest makes a complete
+  key (it covers frontier, id summary and values).  A replica re-advertising
+  an unchanged checkpoint every gossip round hits the memo every time.
+* :func:`decode_frame` accepts any bytes-like object and decodes through
+  one ``memoryview`` — interior slices (strings, floats, raw runs) are
+  views, copied only at the leaves that must own their bytes.
 """
 
 from __future__ import annotations
@@ -72,7 +87,7 @@ from repro.core.operations import OperationDescriptor
 from repro.datatypes.base import Operator
 
 #: Bump on any change to the wire layout.
-WIRE_VERSION = 1
+WIRE_VERSION = 2
 
 MAGIC = b"\xe5\x0d"
 
@@ -125,17 +140,27 @@ class FrameError(EsdsError):
 
 def encode_varint(value: int) -> bytes:
     """Unsigned LEB128."""
+    out = bytearray()
+    _append_varint(out, value)
+    return bytes(out)
+
+
+def _append_varint(out: bytearray, value: int) -> None:
+    """Append one unsigned LEB128 varint in place (the hot-path form: no
+    per-varint ``bytes`` allocation)."""
     if value < 0:
         raise FrameError(f"varint cannot encode negative value {value}")
-    out = bytearray()
-    while True:
-        byte = value & 0x7F
+    while value > 0x7F:
+        out.append((value & 0x7F) | 0x80)
         value >>= 7
-        if value:
-            out.append(byte | 0x80)
-        else:
-            out.append(byte)
-            return bytes(out)
+    out.append(value)
+
+
+def _append_str(out: bytearray, text: str) -> None:
+    """Append one length-prefixed utf-8 string (self-contained, no table)."""
+    raw = text.encode("utf-8")
+    _append_varint(out, len(raw))
+    out += raw
 
 
 def zigzag(value: int) -> int:
@@ -167,18 +192,18 @@ def _encode_value(out: bytearray, value: Any) -> None:
         out.append(_V_TRUE if value else _V_FALSE)
     elif isinstance(value, int):
         out.append(_V_INT)
-        out += encode_varint(zigzag(value))
+        _append_varint(out, zigzag(value))
     elif isinstance(value, float):
         out.append(_V_FLOAT)
         out += struct.pack(">d", value)
     elif isinstance(value, str):
         raw = value.encode("utf-8")
         out.append(_V_STR)
-        out += encode_varint(len(raw))
+        _append_varint(out, len(raw))
         out += raw
     elif isinstance(value, bytes):
         out.append(_V_BYTES)
-        out += encode_varint(len(value))
+        _append_varint(out, len(value))
         out += value
     elif isinstance(value, Operator):
         out.append(_V_OPERATOR)
@@ -187,20 +212,20 @@ def _encode_value(out: bytearray, value: Any) -> None:
     elif isinstance(value, OperationId):
         out.append(_V_OPID)
         _encode_value(out, value.client)
-        out += encode_varint(zigzag(value.seqno))
+        _append_varint(out, zigzag(value.seqno))
     elif isinstance(value, Label):
         out.append(_V_LABEL)
-        out += encode_varint(zigzag(value.rank))
+        _append_varint(out, zigzag(value.rank))
         _encode_value(out, value.replica)
     elif isinstance(value, tuple):
         out.append(_V_TUPLE)
-        out += encode_varint(len(value))
+        _append_varint(out, len(value))
         for item in value:
             _encode_value(out, item)
     elif isinstance(value, (set, frozenset)):
         encoded = sorted(_value_bytes(item) for item in value)
         out.append(_V_SET if isinstance(value, frozenset) else _V_MUTSET)
-        out += encode_varint(len(encoded))
+        _append_varint(out, len(encoded))
         for item in encoded:
             out += item
     elif isinstance(value, dict):
@@ -208,7 +233,7 @@ def _encode_value(out: bytearray, value: Any) -> None:
             (_value_bytes(k), _value_bytes(v)) for k, v in value.items()
         )
         out.append(_V_DICT)
-        out += encode_varint(len(pairs))
+        _append_varint(out, len(pairs))
         for key, val in pairs:
             out += key
             out += val
@@ -228,13 +253,19 @@ class _Encoder:
         self._order: List[str] = []
         self.out = bytearray()
 
+    def reset(self) -> None:
+        """Make this encoder reusable for the next frame (pooling)."""
+        self._table.clear()
+        self._order.clear()
+        del self.out[:]
+
     # -- primitives ----------------------------------------------------------
 
     def u(self, value: int) -> None:
-        self.out += encode_varint(value)
+        _append_varint(self.out, value)
 
     def s(self, value: int) -> None:
-        self.out += encode_varint(zigzag(value))
+        _append_varint(self.out, zigzag(value))
 
     def byte(self, value: int) -> None:
         self.out.append(value & 0xFF)
@@ -308,10 +339,46 @@ class _Encoder:
             self.value(value)
 
     def advert(self, advert: CheckpointAdvert) -> None:
-        self.label(advert.frontier)
-        self.ident(advert.digest)
-        self.ident(advert.order_digest)
-        self.summary(advert.ids)
+        self.out += _advert_bytes(advert)
+
+
+#: Digest-keyed advert encode memo.  An advert encodes self-contained (no
+#: table references), so its bytes are frame-independent and the memo is a
+#: straight lookup; ``(digest, order_digest)`` is a complete key because the
+#: content digest covers the frontier, the id summary and the values.  A
+#: replica steadily re-advertising an unchanged checkpoint (the common case
+#: between compactions) pays the encode once per checkpoint, not per gossip.
+_ADVERT_CACHE: Dict[Tuple[str, str], bytes] = {}
+_ADVERT_CACHE_MAX = 512
+
+
+def _advert_bytes(advert: CheckpointAdvert) -> bytes:
+    key = (advert.digest, advert.order_digest)
+    cached = _ADVERT_CACHE.get(key)
+    if cached is not None:
+        return cached
+    out = bytearray()
+    _append_varint(out, zigzag(advert.frontier.rank))
+    _append_str(out, advert.frontier.replica)
+    _append_str(out, advert.digest)
+    _append_str(out, advert.order_digest)
+    ranges = sorted(advert.ids.ranges.items())
+    _append_varint(out, len(ranges))
+    for client, intervals in ranges:
+        _append_str(out, client)
+        _append_varint(out, len(intervals))
+        prev_hi: Optional[int] = None
+        for lo, hi in intervals:
+            if prev_hi is None:
+                _append_varint(out, zigzag(lo))
+            else:
+                _append_varint(out, lo - prev_hi - 2)
+            _append_varint(out, hi - lo)
+            prev_hi = hi
+    if len(_ADVERT_CACHE) >= _ADVERT_CACHE_MAX:
+        _ADVERT_CACHE.clear()
+    encoded = _ADVERT_CACHE[key] = bytes(out)
+    return encoded
 
 
 # --------------------------------------------------------------------------- #
@@ -438,35 +505,51 @@ _ENCODERS = {
 # Frame assembly                                                              #
 # --------------------------------------------------------------------------- #
 
+#: Pooled frame encoders: encoder objects (intern table, payload buffer) and
+#: frame buffers are reused across frames instead of re-created per call
+#: (asyncio runs the send loops on one thread; a concurrent encode simply
+#: misses the pool and pays a fresh allocation, so reentrancy is safe, just
+#: unpooled).
+_ENCODER_POOL: List[Tuple[_Encoder, bytearray]] = []
+
+
 def encode_frame_detailed(messages: Sequence[Any]) -> Tuple[bytes, List[int]]:
     """Like :func:`encode_frame`, also returning each message's encoded
     payload length — the runtime attributes coalesced-frame bytes to message
     kinds with these (the shared magic/table/length overhead is counted as
     framing, not against any kind)."""
-    enc = _Encoder()
-    payloads: List[bytes] = []
-    for message in messages:
-        tag = _KIND_TAGS.get(getattr(message, "kind", None))
-        if tag is None:
-            raise FrameError(f"cannot encode message of type {type(message).__name__}")
-        start = len(enc.out)
-        enc.byte(tag)
-        _ENCODERS[tag](enc, message)
-        payloads.append(bytes(enc.out[start:]))
-        del enc.out[start:]
+    enc, frame = _ENCODER_POOL.pop() if _ENCODER_POOL else (_Encoder(), bytearray())
+    try:
+        spans: List[Tuple[int, int]] = []
+        for message in messages:
+            tag = _KIND_TAGS.get(getattr(message, "kind", None))
+            if tag is None:
+                raise FrameError(
+                    f"cannot encode message of type {type(message).__name__}"
+                )
+            start = len(enc.out)
+            enc.byte(tag)
+            _ENCODERS[tag](enc, message)
+            spans.append((start, len(enc.out)))
 
-    frame = bytearray(MAGIC)
-    frame.append(WIRE_VERSION)
-    frame += encode_varint(len(enc._order))
-    for text in enc._order:
-        raw = text.encode("utf-8")
-        frame += encode_varint(len(raw))
-        frame += raw
-    frame += encode_varint(len(payloads))
-    for payload in payloads:
-        frame += encode_varint(len(payload))
-        frame += payload
-    return bytes(frame), [len(payload) for payload in payloads]
+        frame += MAGIC
+        frame.append(WIRE_VERSION)
+        _append_varint(frame, len(enc._order))
+        for text in enc._order:
+            _append_str(frame, text)
+        _append_varint(frame, len(spans))
+        # One copy per payload, straight from the shared payload buffer into
+        # the frame buffer — no intermediate per-payload ``bytes``.
+        with memoryview(enc.out) as body:
+            for start, end in spans:
+                _append_varint(frame, end - start)
+                frame += body[start:end]
+        return bytes(frame), [end - start for start, end in spans]
+    finally:
+        enc.reset()
+        del frame[:]
+        if len(_ENCODER_POOL) < 4:
+            _ENCODER_POOL.append((enc, frame))
 
 
 def encode_frame(messages: Sequence[Any]) -> bytes:
@@ -501,7 +584,7 @@ def message_digest(message: Any) -> str:
 # --------------------------------------------------------------------------- #
 
 class _Decoder:
-    def __init__(self, data: bytes, table: Sequence[str], pos: int = 0) -> None:
+    def __init__(self, data, table: Sequence[str], pos: int = 0) -> None:
         self.data = data
         self.table = table
         self.pos = pos
@@ -531,12 +614,19 @@ class _Decoder:
         self.pos += 1
         return value
 
-    def raw(self, n: int) -> bytes:
+    def raw(self, n: int):
+        """A run of *n* raw bytes.  When the decoder reads a ``memoryview``
+        (the zero-copy frame path) the run is a *view*, not a copy — callers
+        that must own their bytes convert at the leaf."""
         if self.pos + n > len(self.data):
             raise FrameError("truncated bytes")
         chunk = self.data[self.pos : self.pos + n]
         self.pos += n
         return chunk
+
+    def text(self) -> str:
+        """One self-contained length-prefixed utf-8 string (no table)."""
+        return str(self.raw(self.u()), "utf-8")
 
     def ident(self) -> str:
         index = self.u()
@@ -559,9 +649,9 @@ class _Decoder:
         if tag == _V_FLOAT:
             return struct.unpack(">d", self.raw(8))[0]
         if tag == _V_STR:
-            return self.raw(self.u()).decode("utf-8")
+            return str(self.raw(self.u()), "utf-8")
         if tag == _V_BYTES:
-            return self.raw(self.u())
+            return bytes(self.raw(self.u()))
         if tag == _V_OPERATOR:
             name = self.value()
             args = self.value()
@@ -631,12 +721,29 @@ class _Decoder:
         )
 
     def advert(self) -> CheckpointAdvert:
-        frontier = self.label()
-        digest = self.ident()
-        order_digest = self.ident()
-        ids = self.summary()
+        # Self-contained strings, mirroring ``_advert_bytes`` (the advert is
+        # the one piece encoded outside the frame's interned table so its
+        # bytes can be memoized across frames).
+        rank = self.s()
+        frontier = Label(rank=rank, replica=self.text())
+        digest = self.text()
+        order_digest = self.text()
+        ranges: Dict[str, List[Tuple[int, int]]] = {}
+        for _ in range(self.u()):
+            client = self.text()
+            intervals: List[Tuple[int, int]] = []
+            prev_hi: Optional[int] = None
+            for _ in range(self.u()):
+                lo = self.s() if prev_hi is None else prev_hi + 2 + self.u()
+                hi = lo + self.u()
+                intervals.append((lo, hi))
+                prev_hi = hi
+            ranges[client] = intervals
         return CheckpointAdvert(
-            frontier=frontier, digest=digest, ids=ids, order_digest=order_digest
+            frontier=frontier,
+            digest=digest,
+            ids=OpIdSummary(ranges),
+            order_digest=order_digest,
         )
 
 
@@ -761,22 +868,26 @@ _DECODERS = {
 }
 
 
-def decode_frame(frame: bytes) -> List[Any]:
-    """Decode one frame back into its message objects."""
-    if len(frame) < 3 or frame[:2] != MAGIC:
+def decode_frame(frame) -> List[Any]:
+    """Decode one frame (any bytes-like object) back into its message
+    objects.  Decoding runs over one ``memoryview`` of the input: interior
+    runs are sliced as views, so nothing is copied except the leaves that
+    must own their bytes (strings, ``bytes`` values)."""
+    data = frame if isinstance(frame, memoryview) else memoryview(frame)
+    if len(data) < 3 or data[:2] != MAGIC:
         raise FrameError("not a wire frame (bad magic)")
-    if frame[2] != WIRE_VERSION:
-        raise FrameError(f"wire version {frame[2]}, this codec understands {WIRE_VERSION}")
-    head = _Decoder(frame, (), pos=3)
+    if data[2] != WIRE_VERSION:
+        raise FrameError(f"wire version {data[2]}, this codec understands {WIRE_VERSION}")
+    head = _Decoder(data, (), pos=3)
     table: List[str] = []
     for _ in range(head.u()):
-        table.append(head.raw(head.u()).decode("utf-8"))
-    dec = _Decoder(frame, table, pos=head.pos)
+        table.append(head.text())
+    dec = _Decoder(data, table, pos=head.pos)
     messages: List[Any] = []
     for _ in range(dec.u()):
         length = dec.u()
         end = dec.pos + length
-        if end > len(frame):
+        if end > len(data):
             raise FrameError("truncated message payload")
         tag = dec.byte()
         decoder = _DECODERS.get(tag)
@@ -788,8 +899,8 @@ def decode_frame(frame: bytes) -> List[Any]:
                 f"message payload length mismatch (declared {length}, "
                 f"consumed {dec.pos - (end - length)})"
             )
-    if dec.pos != len(frame):
-        raise FrameError(f"{len(frame) - dec.pos} trailing bytes after last message")
+    if dec.pos != len(data):
+        raise FrameError(f"{len(data) - dec.pos} trailing bytes after last message")
     return messages
 
 

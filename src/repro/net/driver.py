@@ -227,7 +227,8 @@ def _build_cluster(args: argparse.Namespace) -> NetCluster:
         delta_gossip=args.gossip in ("delta", "advert"),
         advert_gossip=args.gossip == "advert",
         compaction=CompactionPolicy() if args.gossip == "advert" else None,
-        fast_core=args.fast_core,
+        fast_core=args.fast_core or args.batch_core,
+        batch_replay=args.batch_core,
         incremental_replay=True,
     )
     data_type: Any = KeyedStore(CounterType()) if args.keys else CounterType()
@@ -272,6 +273,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("--keys", type=int, default=0,
                         help="zipfian keyed access over this many keys (0 = flat counter)")
     parser.add_argument("--fast-core", action="store_true")
+    parser.add_argument("--batch-core", action="store_true",
+                        help="struct-of-arrays batch replay kernel (implies --fast-core)")
     parser.add_argument("--seed", type=int, default=0)
     args = parser.parse_args(argv)
     report = asyncio.run(_main_async(args))

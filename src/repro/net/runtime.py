@@ -49,13 +49,14 @@ quiesced network deployment.
 from __future__ import annotations
 
 import asyncio
+import socket
 import struct
 from dataclasses import InitVar, dataclass, field, replace
 from typing import Any, Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 from repro.algorithm.checkpoint import CompactionLedger, CompactionPolicy
 from repro.config import ReplicaConfig
-from repro.algorithm.fastcore import FastReplicaCore
+from repro.algorithm.batchcore import core_factory
 from repro.algorithm.frontend import FrontEndCore
 from repro.algorithm.messages import ResponseMessage
 from repro.algorithm.replica import ReplicaCore
@@ -102,6 +103,11 @@ class NetParams:
     incremental_replay: bool = False
     #: Use :class:`~repro.algorithm.fastcore.FastReplicaCore`.
     fast_core: bool = False
+    #: Use the struct-of-arrays batch replay kernel
+    #: (:class:`~repro.algorithm.batchcore.BatchReplicaCore`) on top of the
+    #: fast core (requires ``fast_core=True``); per-frame gossip batches
+    #: merge through ``receive_gossip_batch``.
+    batch_replay: bool = False
     #: Bounded per-peer send queue length (messages). Full queue = slow peer:
     #: senders block (clients, pulls) or skip the round (gossip).
     send_queue_limit: int = 64
@@ -122,6 +128,7 @@ class NetParams:
     def __post_init__(self, replica: Optional[ReplicaConfig] = None) -> None:
         if replica is not None:
             self.fast_core = replica.fast_core
+            self.batch_replay = replica.batch_replay
             self.delta_gossip = replica.delta_gossip
             self.full_state_interval = replica.full_state_interval
             self.incremental_replay = replica.incremental_replay
@@ -146,6 +153,7 @@ class NetParams:
         storage; this is the one object the runtime configures cores from)."""
         return ReplicaConfig(
             fast_core=self.fast_core,
+            batch_replay=self.batch_replay,
             delta_gossip=self.delta_gossip,
             full_state_interval=self.full_state_interval,
             incremental_replay=self.incremental_replay,
@@ -303,6 +311,21 @@ class _MemoryServer:
 # TCP transport (loopback)                                                    #
 # --------------------------------------------------------------------------- #
 
+def _set_nodelay(writer) -> None:
+    """Disable Nagle on a TCP stream.  The protocol is strictly small
+    request/response and gossip frames; with Nagle on, every sub-MSS frame
+    waits for the peer's delayed ACK (~40ms on Linux loopback), which caps
+    a ping-pong client at ~25 ops/s regardless of how fast the replicas
+    are.  Both the dialing and the accepting side must opt out — either
+    side's Nagle re-introduces the stall."""
+    sock = writer.get_extra_info("socket")
+    if sock is not None:
+        try:
+            sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        except OSError:
+            pass  # not a TCP socket (or a platform without the knob)
+
+
 class _TcpTransport:
     """Loopback TCP with a name -> (host, port) registry, resolved at every
     connect so a recovered replica's fresh port is picked up lazily."""
@@ -311,7 +334,11 @@ class _TcpTransport:
         self._addresses: Dict[str, Tuple[str, int]] = {}
 
     async def listen(self, name: str, handler):
-        server = await asyncio.start_server(handler, "127.0.0.1", 0)
+        async def accept(reader, writer):
+            _set_nodelay(writer)
+            await handler(reader, writer)
+
+        server = await asyncio.start_server(accept, "127.0.0.1", 0)
         self._addresses[name] = server.sockets[0].getsockname()[:2]
         return _TcpServer(self, name, server)
 
@@ -319,7 +346,9 @@ class _TcpTransport:
         address = self._addresses.get(name)
         if address is None:
             raise ConnectionRefusedError(f"no listener named {name!r}")
-        return await asyncio.open_connection(*address)
+        reader, writer = await asyncio.open_connection(*address)
+        _set_nodelay(writer)
+        return reader, writer
 
 
 class _TcpServer:
@@ -514,7 +543,7 @@ class NetCluster:
             raise ConfigurationError(f"unknown transport {transport!r}")
 
         self.replica_ids: Tuple[str, ...] = tuple(f"r{i}" for i in range(num_replicas))
-        factory = FastReplicaCore if self.params.fast_core else ReplicaCore
+        factory = core_factory(self.params.replica_config)
         self.replicas: Dict[str, ReplicaCore] = {
             rid: factory(rid, self.replica_ids, data_type) for rid in self.replica_ids
         }
@@ -615,8 +644,7 @@ class NetCluster:
                     break
                 self.stats.frames_received += 1
                 self.stats.bytes_received += len(frame) + _LEN.size
-                for message in decode_frame(frame):
-                    await self._handle_message(node, message)
+                await self._handle_frame(node, decode_frame(frame))
         except asyncio.CancelledError:
             # Replica crash / cluster stop cancels serve tasks; exiting
             # normally keeps asyncio's stream-protocol callback quiet.
@@ -628,25 +656,47 @@ class NetCluster:
             except Exception:
                 pass
 
-    async def _handle_message(self, node: _ReplicaNode, message) -> None:
+    async def _handle_frame(self, node: _ReplicaNode, messages: Sequence[Any]) -> None:
+        """Apply one decoded frame's messages to the replica core.
+
+        A coalesced frame is one sender's wakeup worth of messages, so runs
+        of gossip messages within it merge as a batch through
+        ``receive_gossip_batch`` (the batch kernel defers its order splices
+        across the run), and the post-merge sweep — stale NACKs, the
+        ``do_it`` sweep, ready responses — runs once per frame instead of
+        once per message.  Pull requests only generate transfers and never
+        need the sweep, matching the previous per-message handling."""
         if node.crashed:
             return
         core = node.core
-        kind = message.kind
-        if kind == "request":
-            core.receive_request(message)
-        elif kind == "gossip":
-            core.receive_gossip(message)
-            for pull in core.take_pending_pulls():
-                await node.links[pull.target].send("pull", pull)
-        elif kind == "pull":
-            for transfer in core.receive_pull_request(message):
-                await node.links[transfer.requester].send("transfer", transfer)
+        swept = True
+        i, n = 0, len(messages)
+        while i < n:
+            message = messages[i]
+            kind = message.kind
+            if kind == "gossip":
+                j = i + 1
+                while j < n and messages[j].kind == "gossip":
+                    j += 1
+                core.receive_gossip_batch(messages[i:j])
+                for pull in core.take_pending_pulls():
+                    await node.links[pull.target].send("pull", pull)
+                swept = False
+                i = j
+                continue
+            if kind == "request":
+                core.receive_request(message)
+                swept = False
+            elif kind == "pull":
+                for transfer in core.receive_pull_request(message):
+                    await node.links[transfer.requester].send("transfer", transfer)
+            elif kind == "transfer":
+                core.receive_transfer(message)
+                swept = False
+            # else: a response frame sent to a replica — ignore
+            i += 1
+        if swept:
             return
-        elif kind == "transfer":
-            core.receive_transfer(message)
-        else:
-            return  # a response frame sent to a replica: ignore
         for operation in core.take_stale_nacks():
             await self._send_response(
                 node,

@@ -65,6 +65,10 @@ class ShardedFrontend:
         Use the raw-speed replay/ordering core
         (:class:`~repro.algorithm.fastcore.FastReplicaCore`) in every
         shard; ignored when *replica_factory* is given.
+    batch_replay:
+        Layer the struct-of-arrays batch replay kernel
+        (:class:`~repro.algorithm.batchcore.BatchReplicaCore`) on the fast
+        core in every shard (requires ``fast_core=True``).
     delta_gossip / full_state_interval / incremental_replay:
         Forwarded to every shard's :class:`AlgorithmSystem`.
     compaction:
@@ -89,6 +93,7 @@ class ShardedFrontend:
         router: Optional[ShardRouter] = None,
         replica_factory: Optional[ReplicaFactory] = None,
         fast_core: bool = UNSET,
+        batch_replay: bool = UNSET,
         delta_gossip: bool = UNSET,
         full_state_interval: int = UNSET,
         incremental_replay: bool = UNSET,
@@ -107,6 +112,7 @@ class ShardedFrontend:
             config,
             dict(
                 fast_core=fast_core,
+                batch_replay=batch_replay,
                 delta_gossip=delta_gossip,
                 full_state_interval=full_state_interval,
                 incremental_replay=incremental_replay,

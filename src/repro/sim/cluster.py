@@ -23,8 +23,8 @@ import random
 from dataclasses import InitVar, dataclass
 from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
+from repro.algorithm.batchcore import core_factory
 from repro.algorithm.checkpoint import CompactionLedger, CompactionPolicy
-from repro.algorithm.fastcore import FastReplicaCore
 from repro.algorithm.frontend import FrontEndCore
 from repro.algorithm.labels import label_min, label_sort_key
 from repro.algorithm.messages import GossipMessage, RequestMessage, ResponseMessage
@@ -213,6 +213,12 @@ class SimulationParams:
     #: epoch-tagged replay cache — execution-identical to the base core, just
     #: faster.  Ignored when an explicit ``replica_factory`` is supplied.
     fast_core: bool = False
+    #: Use the struct-of-arrays batch replay kernel
+    #: (:class:`~repro.algorithm.batchcore.BatchReplicaCore`) on top of the
+    #: fast core (requires ``fast_core=True``): deferred batch gossip
+    #: splices, a verified-solid compaction prefix and a prev-dependency
+    #: ready queue — execution-identical, faster still.
+    batch_replay: bool = False
     #: Fast path: buffer gossip messages arriving at a replica within the
     #: same simulation instant and run the post-merge work (``do_it`` sweep,
     #: responses, stabilization tracking) once per instant instead of once
@@ -275,6 +281,7 @@ class SimulationParams:
         storage; this is the one object the harnesses configure cores from)."""
         return ReplicaConfig(
             fast_core=self.fast_core,
+            batch_replay=self.batch_replay,
             delta_gossip=self.delta_gossip,
             full_state_interval=self.full_state_interval,
             incremental_replay=self.incremental_replay,
@@ -321,14 +328,14 @@ class SimulatedCluster:
         )
 
         self.replica_ids: Tuple[str, ...] = tuple(f"r{i}" for i in range(num_replicas))
-        factory = replica_factory or (FastReplicaCore if self.params.fast_core else ReplicaCore)
+        replica_config = self.params.replica_config
+        factory = replica_factory or core_factory(replica_config)
         self.replicas: Dict[str, ReplicaCore] = {
             rid: factory(rid, self.replica_ids, data_type) for rid in self.replica_ids
         }
         #: The agreed compacted stable prefix across the whole cluster (the
         #: replicas themselves forget the order; witnesses and audits need it).
         self.compaction_ledger = CompactionLedger()
-        replica_config = self.params.replica_config
         for rid, core in self.replicas.items():
             replica_config.configure_core(core)
             core.on_compact = self._compaction_recorder(rid)
@@ -886,8 +893,10 @@ class SimulatedCluster:
         if destination in self._crashed:
             return
         core = self.replicas[destination]
-        for message in batch:
-            core.receive_gossip(message)
+        # One call for the whole coalesced batch: the batch kernel defers
+        # its order splices across it; every other variant runs the same
+        # sequential per-message merge as before.
+        core.receive_gossip_batch(batch)
         for pull in core.take_pending_pulls():
             self._send_pull(destination, pull)
         core.do_all_ready()

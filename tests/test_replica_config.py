@@ -15,10 +15,11 @@ import random
 
 import pytest
 
+from repro.algorithm.batchcore import BatchReplicaCore
 from repro.algorithm.checkpoint import CompactionPolicy
 from repro.algorithm.system import AlgorithmSystem
 from repro.common import ConfigurationError, OperationIdGenerator
-from repro.config import ReplicaConfig
+from repro.config import ReplicaConfig, reset_legacy_warnings
 from repro.core.operations import make_operation
 from repro.datatypes import CounterType
 from repro.net.runtime import NetCluster, NetParams
@@ -56,6 +57,7 @@ def drive_system(system, seed=5, count=20):
 
 class TestAlgorithmSystemTwin:
     def test_config_is_execution_identical_to_legacy_kwargs(self):
+        reset_legacy_warnings()
         with pytest.warns(DeprecationWarning):
             legacy = AlgorithmSystem(
                 CounterType(), ["r1", "r2", "r3"], ["c0", "c1"], **FEATURES
@@ -135,6 +137,7 @@ class TestShardedClusterTwin:
 
 class TestShardedFrontendTwin:
     def test_config_kwarg_is_execution_identical(self):
+        reset_legacy_warnings()
         with pytest.warns(DeprecationWarning):
             legacy = ShardedFrontend(
                 CounterType(), num_shards=2, replicas_per_shard=2,
@@ -201,8 +204,66 @@ class TestNetClusterTwin:
 
 class TestOneWarningPerLegacyCall:
     def test_exactly_one_deprecation_warning(self):
+        reset_legacy_warnings()
         with pytest.warns(DeprecationWarning) as caught:
             AlgorithmSystem(CounterType(), ["r1", "r2"], ["c0"],
                             delta_gossip=True, incremental_replay=True)
         assert len([w for w in caught
                     if issubclass(w.category, DeprecationWarning)]) == 1
+
+    def test_shim_warns_once_per_process(self):
+        # Repeated legacy constructions through the same entry point nag
+        # once, not per call (the fuzzer builds thousands of clusters).
+        reset_legacy_warnings()
+        import warnings as _warnings
+
+        with _warnings.catch_warnings(record=True) as caught:
+            _warnings.simplefilter("always")
+            for _ in range(3):
+                AlgorithmSystem(CounterType(), ["r1", "r2"], ["c0"],
+                                delta_gossip=True)
+        assert len([w for w in caught
+                    if issubclass(w.category, DeprecationWarning)]) == 1
+        # A different entry point still gets its own (single) warning.
+        with _warnings.catch_warnings(record=True) as caught:
+            _warnings.simplefilter("always")
+            ShardedFrontend(CounterType(), fast_core=True)
+            ShardedFrontend(CounterType(), fast_core=True)
+        assert len([w for w in caught
+                    if issubclass(w.category, DeprecationWarning)]) == 1
+        # Resetting the registry re-arms the warning.
+        reset_legacy_warnings()
+        with pytest.warns(DeprecationWarning):
+            AlgorithmSystem(CounterType(), ["r1", "r2"], ["c0"],
+                            delta_gossip=True)
+
+
+class TestIncoherentCombinations:
+    def test_batch_replay_requires_fast_core(self):
+        with pytest.raises(ConfigurationError, match="batch_replay.*fast_core"):
+            ReplicaConfig(batch_replay=True)
+        with pytest.raises(ConfigurationError, match="batch_replay.*fast_core"):
+            ReplicaConfig(batch_replay=True, fast_core=False)
+        # The coherent combination constructs fine.
+        ReplicaConfig(batch_replay=True, fast_core=True)
+
+    def test_rejection_surfaces_through_every_entry_point(self):
+        with pytest.raises(ConfigurationError):
+            SimulatedCluster(
+                CounterType(), 3, ["c0"],
+                params=SimulationParams(batch_replay=True), seed=1,
+            )
+        with pytest.raises(ConfigurationError):
+            NetParams(batch_replay=True).replica_config
+        with pytest.raises(ConfigurationError):
+            ShardedFrontend(CounterType(), batch_replay=True)
+        with pytest.raises(ConfigurationError):
+            AlgorithmSystem(CounterType(), ["r1", "r2"], ["c0"],
+                            batch_replay=True)
+
+    def test_batch_replay_selects_batch_core(self):
+        cluster = SimulatedCluster(
+            CounterType(), 3, ["c0"],
+            params=SimulationParams(fast_core=True, batch_replay=True), seed=1,
+        )
+        assert all(isinstance(r, BatchReplicaCore) for r in cluster.replicas.values())

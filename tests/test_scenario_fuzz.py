@@ -261,8 +261,28 @@ def _fast_core_advert(rng, params):
     return dataclasses.replace(_advert_pull(rng, params), fast_core=True)
 
 
+def _batch_core(rng, params):
+    return dataclasses.replace(params, fast_core=True, batch_replay=True)
+
+
+def _batch_core_advert(rng, params):
+    return dataclasses.replace(
+        _advert_pull(rng, params), fast_core=True, batch_replay=True
+    )
+
+
+_CORE_TWEAK_KINDS = {
+    _fast_core: "fast",
+    _fast_core_advert: "fast-advert",
+    _batch_core: "batch",
+    _batch_core_advert: "batch-advert",
+}
+
+
 @pytest.mark.parametrize(
-    "tweak", [_fast_core, _fast_core_advert], ids=["plain", "advert-compact"]
+    "tweak",
+    [_fast_core, _fast_core_advert, _batch_core, _batch_core_advert],
+    ids=["plain", "advert-compact", "batch", "batch-advert-compact"],
 )
 @pytest.mark.parametrize("delta_gossip", [False, True], ids=["full", "delta"])
 @pytest.mark.parametrize("seed", COMPACTION_SEEDS)
@@ -270,12 +290,16 @@ def test_random_scenarios_with_fast_core(seed, delta_gossip, tweak):
     """The corpus seeds re-run on :class:`FastReplicaCore` — plain, and
     layered over the aggressive-compaction + advert/pull tweak (the paths
     where the interned tables are remapped by folds and the bitset knowledge
-    maps absorb interval summaries).  The fast core is an optimization, not a
-    semantic change, so every oracle must hold exactly as for the base core."""
+    maps absorb interval summaries) — and again on the batch replay kernel
+    (:class:`BatchReplicaCore`), whose deferred gossip splices and memoized
+    compaction prefix ride the same paths.  Both cores are optimizations,
+    not semantic changes, so every oracle must hold exactly as for the base
+    core."""
+    from repro.algorithm.batchcore import BatchReplicaCore
     from repro.algorithm.fastcore import FastReplicaCore
 
     mode = "delta" if delta_gossip else "full"
-    kind = "fast" if tweak is _fast_core else "fast-advert"
+    kind = _CORE_TWEAK_KINDS[tweak]
     spec = random_sim_spec(
         f"fuzz-{kind}-{mode}-{seed:03d}", seed, delta_gossip, params_tweak=tweak
     )
@@ -283,8 +307,11 @@ def test_random_scenarios_with_fast_core(seed, delta_gossip, tweak):
     run, _results = run_checked(spec)
     expected = spec.workload["operations_per_client"] * len(spec.clients)
     assert run.workload_result.submitted == expected
+    wanted = BatchReplicaCore if spec.params.batch_replay else FastReplicaCore
     for replica in run.clusters[UNSHARDED].replicas.values():
-        assert isinstance(replica, FastReplicaCore)
+        assert isinstance(replica, wanted)
+        if not spec.params.batch_replay:
+            assert not isinstance(replica, BatchReplicaCore)
 
 
 @pytest.mark.parametrize("delta_gossip", [False, True], ids=["full", "delta"])
